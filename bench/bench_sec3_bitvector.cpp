@@ -1,0 +1,124 @@
+//===- bench/bench_sec3_bitvector.cpp - Section 3.3 --------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 3.3 / Section 4 analysis of the n-bit
+/// gen/kill language:
+///
+///   * the representative-function count is exactly 3^n (id/gen/kill
+///     per bit) whether computed from the explicit 2^n-state product
+///     DFA or represented directly as mask pairs (GenKillDomain) —
+///     order independence of distinct bits is exploited automatically;
+///   * the specialized domain avoids materializing the product DFA,
+///     so annotated interprocedural dataflow scales in n;
+///   * the annotated solver matches the classical iterative
+///     interprocedural baseline on every query (also checked here).
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Machines.h"
+#include "automata/Monoid.h"
+#include "dataflow/BitVector.h"
+#include "progen/ProgramGen.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace rasc;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Section 3.3: the n-bit gen/kill annotation language "
+              "==\n\n");
+
+  std::printf("(a) representative functions: product DFA vs the "
+              "specialized domain\n");
+  std::printf("| %4s | %10s | %9s | %12s | %14s |\n", "bits",
+              "DFA states", "|F_M^≡|", "expected 3^n", "DFA build (s)");
+  std::printf("|------|------------|-----------|--------------|"
+              "----------------|\n");
+  for (unsigned Bits = 1; Bits <= 8; ++Bits) {
+    auto Start = std::chrono::steady_clock::now();
+    Dfa M = buildNBitMachine(Bits);
+    TransitionMonoid::Options Opts;
+    Opts.DenseTableLimit = 1024;
+    TransitionMonoid Mon(M, Opts);
+    double T = seconds(Start);
+    size_t Expected = 1;
+    for (unsigned I = 0; I != Bits; ++I)
+      Expected *= 3;
+    std::printf("| %4u | %10u | %9zu | %12zu | %14.3f |\n", Bits,
+                M.numStates(), Mon.size(), Expected, T);
+  }
+  std::printf("(GenKillDomain represents the same monoid as mask "
+              "pairs: no 2^n-state DFA needed.)\n");
+
+  std::printf("\n(b) interprocedural dataflow: annotated constraints "
+              "vs iterative baseline\n");
+  std::printf("| %4s | %6s | %13s | %13s | %12s | %5s |\n", "bits",
+              "stmts", "annotated (s)", "iterative (s)", "max classes",
+              "agree");
+  std::printf("|------|--------|---------------|---------------|"
+              "--------------|-------|\n");
+  for (unsigned Bits : {4u, 16u, 64u}) {
+    ProgGenOptions O;
+    O.Seed = 1000 + Bits;
+    O.NumFunctions = 40;
+    O.StmtsPerFunction = 15;
+    O.AllowRecursion = false;
+    Program P = generateProgram(O);
+
+    Rng R(Bits);
+    BitVectorProblem Prob(P, Bits);
+    for (StmtId S = 0; S != P.numStatements(); ++S) {
+      if (P.stmt(S).Kind == Stmt::Call)
+        continue;
+      for (unsigned B = 0; B != Bits; ++B) {
+        if (R.chance(1, 12))
+          Prob.setGen(S, B);
+        if (R.chance(1, 12))
+          Prob.setKill(S, B);
+      }
+    }
+
+    auto Start = std::chrono::steady_clock::now();
+    AnnotatedBitVectorAnalysis A(Prob);
+    A.solve();
+    double AnnT = seconds(Start);
+
+    Start = std::chrono::steady_clock::now();
+    IterativeBitVectorAnalysis I(Prob);
+    I.solve();
+    double IterT = seconds(Start);
+
+    size_t MaxClasses = 0;
+    bool Agree = true;
+    for (StmtId S = 0; S != P.numStatements(); ++S) {
+      MaxClasses = std::max(MaxClasses, A.numReachingClasses(S));
+      for (unsigned B = 0; B != Bits; ++B)
+        Agree &= A.mayHold(S, B) == I.mayHold(S, B) &&
+                 A.mustHold(S, B) == I.mustHold(S, B);
+    }
+    std::printf("| %4u | %6u | %13.3f | %13.3f | %12zu | %5s |\n",
+                Bits, P.numStatements(), AnnT, IterT, MaxClasses,
+                Agree ? "yes" : "NO");
+  }
+  std::printf("\n(The per-statement class count stays far below 3^n: "
+              "only classes of actual\npaths are materialized, and "
+              "g1g2 ≡ g2g1 is exploited automatically — Section "
+              "4.)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/bench_sec6_parametric.cpp - Section 6.4 -------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 6.4 comparison implicit in the design of
+/// parametric annotations: MOPS instantiates the property automaton
+/// once per parameter label and re-runs the model checker, while
+/// substitution environments build the product lazily in a single
+/// constraint resolution. The series grows the number of distinct
+/// file descriptors in a generated program and reports both costs and
+/// the agreement of the reported violations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pdmc/Checker.h"
+#include "pdmc/Properties.h"
+#include "progen/ProgramGen.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace rasc;
+
+int main() {
+  std::printf("== Section 6.4: parametric annotations vs per-instance "
+              "re-checking ==\n\n");
+  SpecAutomaton Spec = fileStateSpec();
+
+  std::printf("| %7s | %6s | %9s | %9s | %7s | %5s |\n", "labels",
+              "stmts", "RASC (s)", "MOPS (s)", "viols", "agree");
+  std::printf("|---------|--------|-----------|-----------|---------|"
+              "-------|\n");
+  for (unsigned NumLabels : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    ProgGenOptions O;
+    O.Seed = 97 + NumLabels;
+    O.NumFunctions = 12;
+    O.StmtsPerFunction = 25;
+    O.AllowRecursion = false;
+    O.OpSymbols = {"open", "close"};
+    O.ParametricSymbols = {"open", "close"};
+    O.OpPermille = 120;
+    for (unsigned I = 0; I != NumLabels; ++I)
+      O.Labels.push_back("fd" + std::to_string(I));
+    Program P = generateProgram(O);
+
+    RascChecker RC(P, Spec);
+    SolverOptions Cap;
+    Cap.MaxEdges = uint64_t(1) << 21; // report blow-ups, don't endure
+    RC.setSolverOptions(Cap);
+    std::vector<Violation> VR = RC.check();
+    MopsChecker MC(P, Spec);
+    std::vector<Violation> VM = MC.check();
+    if (RC.hitEdgeLimit()) {
+      std::printf("| %7u | %6u | %9s | %9.3f | %7s | %5s |\n",
+                  NumLabels, P.numStatements(), "blow-up",
+                  MC.stats().Seconds, "-", "-");
+      std::fflush(stdout);
+      continue;
+    }
+
+    auto Keyed = [](const std::vector<Violation> &V) {
+      std::vector<std::pair<StmtId, std::string>> W;
+      for (const Violation &X : V)
+        W.emplace_back(X.Where, X.Instantiation);
+      std::sort(W.begin(), W.end());
+      W.erase(std::unique(W.begin(), W.end()), W.end());
+      return W;
+    };
+    bool Agree = Keyed(VR) == Keyed(VM);
+    std::printf("| %7u | %6u | %9.3f | %9.3f | %7zu | %5s |\n",
+                NumLabels, P.numStatements(), RC.stats().Seconds,
+                MC.stats().Seconds, VR.size(), Agree ? "yes" : "NO");
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nMOPS re-runs post* once per instantiation; the "
+      "substitution-environment\nsolver resolves once, instantiating "
+      "lazily. Both report identical violations.\nNote the flip side "
+      "of laziness: when one path mixes many descriptors, the\n"
+      "environments accumulate entries for all of them, so this "
+      "synthetic workload\n(every path touches every descriptor) "
+      "grows superlinearly for RASC while the\nsliced per-instance "
+      "baseline stays flat — the product automaton is exponential\n"
+      "whichever way it is built, and laziness pays off only when "
+      "instances do not\ninteract, as in real programs. (At 8 "
+      "interacting descriptors this solver\nneeds minutes; the sweep "
+      "stops at 6 to keep the bench fast.)\n");
+  return 0;
+}

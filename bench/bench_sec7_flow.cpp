@@ -1,0 +1,152 @@
+//===- bench/bench_sec7_flow.cpp - Section 7 ---------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 7 / Section 9 scaling analysis of the
+/// type-based flow analysis: the pair-matching automaton (Figure 10)
+/// grows with the nesting depth of the program's largest type, and
+/// with it the transition monoid the bidirectional solver must track —
+/// the paper's stated reason a bidirectional solver "is unlikely to
+/// scale for this problem". The dual analysis (Section 7.6) keeps the
+/// automaton tied to the call structure instead, so its cost is
+/// insensitive to type depth (and vice versa for call depth).
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/Monoid.h"
+#include "flow/Analysis.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+using namespace rasc;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// A program whose largest type is a pair nested \p Depth deep:
+///   f1 (x : T1) : T1 = x;   with Ti nested i levels
+///   main builds, passes, and projects the deep value.
+std::string deepTypeProgram(unsigned Depth) {
+  auto typeStr = [](unsigned D) {
+    std::string T = "int";
+    for (unsigned I = 0; I != D; ++I)
+      T = "(" + T + ", int)";
+    return T;
+  };
+  std::ostringstream OS;
+  for (unsigned D = 1; D <= Depth; ++D)
+    OS << "f" << D << " (x : " << typeStr(D) << ") : " << typeStr(D)
+       << " = x;\n";
+  // main wraps a literal Depth deep, runs it through every fI, then
+  // projects all the way back down.
+  OS << "main (z : int) : int = ";
+  std::string Expr = "7";
+  for (unsigned D = 1; D <= Depth; ++D)
+    Expr = "f" + std::to_string(D) + "((" + Expr + ", 0))";
+  for (unsigned D = 0; D != Depth; ++D)
+    Expr += ".1";
+  OS << Expr << ";\n";
+  return OS.str();
+}
+
+/// A program with call chains of length \p Depth over flat types.
+std::string deepCallProgram(unsigned Depth) {
+  std::ostringstream OS;
+  OS << "f" << Depth << " (x : int) : int = x;\n";
+  for (unsigned D = Depth; D > 1; --D)
+    OS << "f" << (D - 1) << " (x : int) : int = f" << D << "(x);\n";
+  OS << "main (z : int) : int = f1(11);\n";
+  return OS.str();
+}
+
+void measure(const char *Label, const std::string &Src) {
+  std::optional<FlowProgram> P = FlowProgram::parse(Src);
+  if (!P) {
+    std::printf("%s: parse error\n", Label);
+    return;
+  }
+  Dfa PairM = buildPairAutomaton(*P);
+  Dfa CallM = buildCallAutomaton(*P);
+  // Probe the monoids with a small cap first: past a few tens of
+  // thousands of classes the bidirectional solver is infeasible (the
+  // paper's Section 9 scaling caveat), which the table reports as a
+  // blow-up instead of hanging.
+  TransitionMonoid::Options Probe;
+  Probe.MaxElements = 10000;
+  Probe.DenseTableLimit = 0;
+  TransitionMonoid PairMon(PairM, Probe);
+  TransitionMonoid CallMon(CallM, Probe);
+
+  FExprId Target = P->functions().back().Body;
+  FExprId Lit = P->literals().front();
+
+  auto TimeOf = [&](FlowMode Mode) {
+    auto Start = std::chrono::steady_clock::now();
+    FlowAnalysis FA(*P, Mode);
+    bool Flows = FA.flows(Lit, Target);
+    (void)Flows;
+    return seconds(Start);
+  };
+  char PrimalStr[32], DualStr[32];
+  if (PairMon.overflowed())
+    std::snprintf(PrimalStr, sizeof(PrimalStr), "%10s", "blow-up");
+  else
+    std::snprintf(PrimalStr, sizeof(PrimalStr), "%10.3f",
+                  TimeOf(FlowMode::Primal));
+  if (CallMon.overflowed())
+    std::snprintf(DualStr, sizeof(DualStr), "%10s", "blow-up");
+  else
+    std::snprintf(DualStr, sizeof(DualStr), "%10.3f",
+                  TimeOf(FlowMode::Dual));
+
+  std::printf("| %-12s | %6u/%-5s | %6u/%-5s | %s | %s |\n", Label,
+              PairM.numStates(),
+              PairMon.overflowed() ? ">10k " : std::to_string(
+                  PairMon.size()).c_str(),
+              CallM.numStates(),
+              CallMon.overflowed() ? ">10k " : std::to_string(
+                  CallMon.size()).c_str(),
+              PrimalStr, DualStr);
+  std::fflush(stdout);
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Section 7: flow analysis scaling ==\n\n");
+  std::printf("The primal analysis pays for type depth (its automaton "
+              "is Figure 10);\nthe dual analysis pays for call depth "
+              "(its automaton is the call-string\nlanguage). States "
+              "below include the rejecting sink.\n\n");
+  std::printf("| %-12s | %12s | %12s | %10s | %10s |\n", "program",
+              "pair |S|/|F|", "call |S|/|F|", "primal (s)", "dual (s)");
+  std::printf("|--------------|--------------|--------------|"
+              "------------|------------|\n");
+  for (unsigned D : {1u, 3u, 6u, 9u, 12u}) {
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "types x%u", D);
+    measure(Label, deepTypeProgram(D));
+  }
+  for (unsigned D : {4u, 8u, 16u, 32u}) {
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "calls x%u", D);
+    measure(Label, deepCallProgram(D));
+  }
+  std::printf("\nEach analysis is precise on its context-free "
+              "dimension and regular on the\nother (Sections 7.2 and "
+              "7.6); the automaton — and with it the bidirectional\n"
+              "solver's annotation count — grows along the regular "
+              "dimension only.\n");
+  return 0;
+}

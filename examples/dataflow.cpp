@@ -1,0 +1,86 @@
+//===- examples/dataflow.cpp - Bit-vector dataflow --------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 3.3 application: interprocedural gen/kill dataflow as a
+/// regular annotation language. A small "taint tracking" scenario:
+/// fact 0 = "input is tainted", fact 1 = "input was sanitized",
+/// tracked across calls with full call/return matching, answered by
+/// the annotated solver and cross-checked against the classical
+/// iterative interprocedural solver.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/BitVector.h"
+
+#include <cstdio>
+
+using namespace rasc;
+
+int main() {
+  std::printf("== Interprocedural bit-vector dataflow (Section 3.3) "
+              "==\n\n");
+
+  // main:
+  //   t = read_input()        // gen TAINT
+  //   if (...) sanitize()     // callee kills TAINT, gens CLEAN
+  //   sink(t)                 // is TAINT possible here? CLEAN certain?
+  Program P;
+  FuncId Main = P.addFunction("main");
+  FuncId San = P.addFunction("sanitize");
+  StmtId Read = P.addNop(Main, "t = read_input()");
+  StmtId Branch = P.addNop(Main, "if (...)");
+  StmtId CallSan = P.addCall(Main, San, "sanitize()");
+  StmtId Skip = P.addNop(Main, "else skip");
+  StmtId Sink = P.addNop(Main, "sink(t)");
+  P.addEdge(P.entry(Main), Read);
+  P.addEdge(Read, Branch);
+  P.addEdge(Branch, CallSan);
+  P.addEdge(Branch, Skip);
+  P.addEdge(CallSan, Sink);
+  P.addEdge(Skip, Sink);
+  StmtId Scrub = P.addNop(San, "scrub buffer");
+  P.addEdge(P.entry(San), Scrub);
+  P.finalize();
+
+  enum { Taint = 0, Clean = 1 };
+  BitVectorProblem Prob(P, 2);
+  Prob.setGen(Read, Taint);
+  Prob.setKill(Scrub, Taint);
+  Prob.setGen(Scrub, Clean);
+
+  AnnotatedBitVectorAnalysis A(Prob);
+  A.solve();
+  IterativeBitVectorAnalysis I(Prob);
+  I.solve();
+
+  auto show = [&](const char *Name, StmtId S) {
+    std::printf("%-18s taint: may=%d must=%d   clean: may=%d must=%d"
+                "   (%zu path classes)\n",
+                Name, A.mayHold(S, Taint), A.mustHold(S, Taint),
+                A.mayHold(S, Clean), A.mustHold(S, Clean),
+                A.numReachingClasses(S));
+  };
+  std::printf("annotated-constraint analysis:\n");
+  show("after read:", Branch);
+  show("inside sanitize:", Scrub);
+  show("at sink:", Sink);
+
+  bool Agree = true;
+  for (StmtId S = 0; S != P.numStatements(); ++S)
+    for (unsigned B = 0; B != 2; ++B)
+      Agree &= A.mayHold(S, B) == I.mayHold(S, B) &&
+               A.mustHold(S, B) == I.mustHold(S, B);
+  std::printf("\niterative interprocedural baseline agrees on every "
+              "statement and fact: %s\n",
+              Agree ? "yes" : "NO (bug)");
+
+  std::printf("\nThe verdict: the sink may still see tainted input "
+              "(the else branch skips sanitize),\nso 'may taint' = %d "
+              "and 'must clean' = %d.\n",
+              A.mayHold(Sink, Taint), A.mustHold(Sink, Clean));
+  return 0;
+}

@@ -1,0 +1,165 @@
+//===- automata/Dfa.h - Deterministic finite automata -----------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic finite automata over a symbolic alphabet. The
+/// annotation language of a regularly annotated constraint system is
+/// given by a (minimized) DFA M; the solver itself only ever sees M's
+/// transition monoid (see Monoid.h), but construction, products,
+/// substring closure, and the specification-language compiler all
+/// operate on automata.
+///
+/// DFAs are always *total*: every (state, symbol) pair has a successor.
+/// A rejecting sink ("dead") state is materialized when needed. This is
+/// important because representative functions (paper Section 2.4) are
+/// total functions on states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_AUTOMATA_DFA_H
+#define RASC_AUTOMATA_DFA_H
+
+#include "support/DynamicBitset.h"
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rasc {
+
+using StateId = uint32_t;
+using SymbolId = uint32_t;
+
+constexpr StateId InvalidState = ~StateId(0);
+constexpr SymbolId InvalidSymbol = ~SymbolId(0);
+
+/// A word over the (dense) symbol alphabet.
+using Word = std::vector<SymbolId>;
+
+/// A total deterministic finite automaton.
+///
+/// States and symbols are dense indices. The alphabet is a list of
+/// symbol names; automata combined by products or used to drive the
+/// same constraint system must share identical alphabets (asserted).
+class Dfa {
+public:
+  Dfa(std::vector<std::string> SymbolNames, uint32_t NumStates,
+      StateId Start, DynamicBitset Accepting, std::vector<StateId> Trans)
+      : SymbolNames(std::move(SymbolNames)), NumStatesVal(NumStates),
+        StartState(Start), AcceptingStates(std::move(Accepting)),
+        Transitions(std::move(Trans)) {
+    assert(StartState < NumStatesVal && "start state out of range");
+    assert(AcceptingStates.size() == NumStatesVal && "accept set size");
+    assert(Transitions.size() ==
+               static_cast<size_t>(NumStatesVal) * this->SymbolNames.size() &&
+           "transition table size");
+  }
+
+  uint32_t numStates() const { return NumStatesVal; }
+  uint32_t numSymbols() const {
+    return static_cast<uint32_t>(SymbolNames.size());
+  }
+  StateId start() const { return StartState; }
+
+  bool isAccepting(StateId S) const {
+    assert(S < NumStatesVal && "state out of range");
+    return AcceptingStates.test(S);
+  }
+
+  const DynamicBitset &acceptingStates() const { return AcceptingStates; }
+
+  /// The successor of \p S on \p Sym; always defined (total automaton).
+  StateId next(StateId S, SymbolId Sym) const {
+    assert(S < NumStatesVal && "state out of range");
+    assert(Sym < SymbolNames.size() && "symbol out of range");
+    return Transitions[static_cast<size_t>(S) * SymbolNames.size() + Sym];
+  }
+
+  /// Runs the automaton on \p W from \p From (default: the start state).
+  StateId run(std::span<const SymbolId> W, StateId From = InvalidState) const {
+    StateId S = From == InvalidState ? StartState : From;
+    for (SymbolId Sym : W)
+      S = next(S, Sym);
+    return S;
+  }
+
+  /// \returns true if \p W is in the automaton's language.
+  bool accepts(std::span<const SymbolId> W) const {
+    return isAccepting(run(W));
+  }
+
+  const std::string &symbolName(SymbolId Sym) const {
+    assert(Sym < SymbolNames.size() && "symbol out of range");
+    return SymbolNames[Sym];
+  }
+
+  const std::vector<std::string> &alphabet() const { return SymbolNames; }
+
+  /// \returns the id of the symbol named \p Name, if any.
+  std::optional<SymbolId> symbol(std::string_view Name) const {
+    for (SymbolId I = 0, E = numSymbols(); I != E; ++I)
+      if (SymbolNames[I] == Name)
+        return I;
+    return std::nullopt;
+  }
+
+  /// \returns the set of states from which some accepting state is
+  /// reachable ("live" states). A word whose representative function
+  /// maps every state to a dead state can never be extended to a word
+  /// in L(M); the solver uses this to drop useless annotations.
+  DynamicBitset liveStates() const;
+
+  /// \returns the set of states reachable from the start state.
+  DynamicBitset reachableStates() const;
+
+  /// Graphviz rendering, for documentation and debugging.
+  std::string toDot(std::string_view Title = "M") const;
+
+private:
+  std::vector<std::string> SymbolNames;
+  uint32_t NumStatesVal;
+  StateId StartState;
+  DynamicBitset AcceptingStates;
+  std::vector<StateId> Transitions; // NumStates x NumSymbols, row-major
+};
+
+/// Incremental construction of a total DFA with named states. Missing
+/// transitions are routed to an implicitly created dead state.
+class DfaBuilder {
+public:
+  /// Adds (or finds) an alphabet symbol.
+  SymbolId addSymbol(std::string_view Name);
+
+  /// Adds a new state. \p Name is used only for diagnostics.
+  StateId addState(std::string_view Name = "");
+
+  void setStart(StateId S) { Start = S; }
+  void setAccepting(StateId S, bool Accepting = true);
+  void addTransition(StateId From, SymbolId Sym, StateId To);
+
+  uint32_t numStates() const { return static_cast<uint32_t>(Names.size()); }
+
+  /// Finalizes the automaton. Unset transitions go to a fresh dead
+  /// state (created only if some transition is missing).
+  Dfa build() const;
+
+private:
+  std::vector<std::string> Symbols;
+  std::vector<std::string> Names;
+  std::vector<bool> Accepting;
+  // Trans[s * Symbols.size() + a], InvalidState if unset. Resized lazily
+  // in build(); stored sparsely here.
+  std::vector<std::vector<StateId>> Rows;
+  StateId Start = 0;
+};
+
+} // namespace rasc
+
+#endif // RASC_AUTOMATA_DFA_H

@@ -1,0 +1,69 @@
+//===- automata/DfaOps.h - Automaton algorithms -----------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classical automaton algorithms: subset construction, Moore
+/// minimization, products, and the closure constructions the paper's
+/// solver strategies need (Sections 2.3 and 5):
+///
+///   * substring closure, for the bidirectional domain T^{M^sub};
+///   * prefix closure, for the forward domain T^{M^pre};
+///   * suffix closure, for the backward domain T^{M^suf}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_AUTOMATA_DFAOPS_H
+#define RASC_AUTOMATA_DFAOPS_H
+
+#include "automata/Dfa.h"
+#include "automata/Nfa.h"
+
+namespace rasc {
+
+/// Subset construction. The result is total (a dead state is the empty
+/// subset) and contains only reachable subsets.
+Dfa determinize(const Nfa &N);
+
+/// Moore partition refinement; the result is the unique minimal total
+/// DFA for the language (up to state renaming). Unreachable states are
+/// removed first.
+Dfa minimize(const Dfa &M);
+
+/// How to combine accept conditions in a product automaton.
+enum class ProductKind { Intersection, Union, Difference };
+
+/// Product of two DFAs over the *same* alphabet (asserted); only
+/// reachable pairs are materialized.
+Dfa product(const Dfa &A, const Dfa &B, ProductKind Kind);
+
+/// Views a DFA as an NFA (e.g. to feed the closure constructions).
+Nfa toNfa(const Dfa &M);
+
+/// Minimal DFA accepting all substrings of L(M): the domain for
+/// bidirectional solving (paper Section 2.3, "M^sub").
+Dfa substringClosure(const Dfa &M);
+
+/// Minimal DFA accepting all prefixes of L(M): forward solving.
+Dfa prefixClosure(const Dfa &M);
+
+/// Minimal DFA accepting all suffixes of L(M): backward solving.
+Dfa suffixClosure(const Dfa &M);
+
+/// \returns true if L(M) is empty.
+bool isEmptyLanguage(const Dfa &M);
+
+/// \returns true if A and B accept the same language. Requires equal
+/// alphabets (asserted).
+bool equivalent(const Dfa &A, const Dfa &B);
+
+/// Enumerates up to \p Limit words of L(M) in shortlex order; useful in
+/// tests and for producing witness annotations.
+std::vector<Word> enumerateWords(const Dfa &M, size_t Limit,
+                                 size_t MaxLength = 12);
+
+} // namespace rasc
+
+#endif // RASC_AUTOMATA_DFAOPS_H

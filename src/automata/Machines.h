@@ -1,0 +1,53 @@
+//===- automata/Machines.h - Machines from the paper ------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constructors for the specific automata the paper discusses:
+///
+///   * Figure 1: the 1-bit gen/kill language M_1bit, and its n-bit
+///     product generalization (Section 3.3).
+///   * Figure 2: the adversarial rotate/swap/merge machine whose
+///     transition monoid contains all |S|^|S| functions.
+///   * Figure 5: the parametric open/close file-state automaton
+///     (ignoring parameters; parameters live in SubstEnv).
+///   * Figure 10: the bounded pair-matching automaton for type
+///     constructor/destructor flow (built in src/flow from a program's
+///     types; a fixed-shape variant is provided here for tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_AUTOMATA_MACHINES_H
+#define RASC_AUTOMATA_MACHINES_H
+
+#include "automata/Dfa.h"
+
+namespace rasc {
+
+/// Figure 1. States {0, 1}, start 0, accept {1}; symbol "g" sets the
+/// bit, "k" clears it. F_M^≡ = {f_eps, f_g, f_k}.
+Dfa buildOneBitMachine();
+
+/// Product of \p NumBits independent 1-bit machines. Symbols are
+/// "g0".."g{n-1}" and "k0".."k{n-1}"; the accept condition is "all
+/// bits set" so that minimization keeps all 2^n states distinct. Used
+/// to compare the explicit product DFA (monoid size 3^n) against the
+/// specialized gen/kill annotation domain.
+Dfa buildNBitMachine(unsigned NumBits);
+
+/// Figure 2. \p NumStates states with symbols "rotate", "swap", and
+/// "merge"; the transition monoid is the full function monoid of size
+/// NumStates^NumStates. Start/accept are state 0 (they do not matter
+/// for monoid-size experiments).
+Dfa buildAdversarialMachine(unsigned NumStates);
+
+/// Figure 5 without parameters: states closed -> opened via "open",
+/// opened -> closed via "close"; double open/close is an error (dead).
+/// Start and accept at "closed" (a balanced open/close discipline).
+Dfa buildFileStateMachine();
+
+} // namespace rasc
+
+#endif // RASC_AUTOMATA_MACHINES_H

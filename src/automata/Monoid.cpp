@@ -1,0 +1,150 @@
+//===- automata/Monoid.cpp - Transition monoid of a DFA ---------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Monoid.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+using namespace rasc;
+
+TransitionMonoid::TransitionMonoid(const Dfa &M, Options Opts)
+    : M(M), NumStates(M.numStates()), Start(M.start()),
+      Accepting(M.acceptingStates()), Live(M.liveStates()) {
+  // Identity first so identity() == 0.
+  std::vector<StateId> Id(NumStates);
+  for (StateId S = 0; S != NumStates; ++S)
+    Id[S] = S;
+  intern(std::move(Id));
+
+  // Generators: one function per alphabet symbol.
+  SymbolFns.reserve(M.numSymbols());
+  for (SymbolId A = 0, E = M.numSymbols(); A != E; ++A) {
+    std::vector<StateId> Fn(NumStates);
+    for (StateId S = 0; S != NumStates; ++S)
+      Fn[S] = M.next(S, A);
+    SymbolFns.push_back(intern(std::move(Fn)));
+  }
+
+  // Close under right extension by generators: every f_w is reached by
+  // extending words one symbol at a time (f_{w sigma} = f_sigma ∘ f_w).
+  // Record generator provenance (the generators' sample word is the
+  // single symbol; the identity's is empty).
+  for (SymbolId A = 0, E = M.numSymbols(); A != E; ++A)
+    if (Parents[SymbolFns[A]].Sym == InvalidSymbol &&
+        SymbolFns[A] != identity())
+      Parents[SymbolFns[A]] = {identity(), A};
+
+  std::deque<FnId> Work;
+  for (FnId F = 0, E = static_cast<FnId>(size()); F != E; ++F)
+    Work.push_back(F);
+  while (!Work.empty() && !Overflowed) {
+    FnId F = Work.front();
+    Work.pop_front();
+    for (SymbolId A = 0, AE = M.numSymbols(); A != AE; ++A) {
+      FnId G = SymbolFns[A];
+      std::vector<StateId> Fn(NumStates);
+      for (StateId S = 0; S != NumStates; ++S)
+        Fn[S] = apply(G, apply(F, S));
+      size_t Before = size();
+      if (Before >= Opts.MaxElements) {
+        Overflowed = true;
+        break;
+      }
+      FnId New = intern(std::move(Fn));
+      if (New == Before) { // freshly interned
+        Parents[New] = {F, A};
+        Work.push_back(New);
+      }
+    }
+  }
+
+  // Composition acceleration.
+  if (!Overflowed && size() <= Opts.DenseTableLimit) {
+    UseDenseTable = true;
+    size_t N = size();
+    DenseTable.resize(N * N);
+    for (FnId F = 0; F != N; ++F)
+      for (FnId G = 0; G != N; ++G)
+        DenseTable[static_cast<size_t>(F) * N + G] = composeSlow(F, G);
+  }
+}
+
+FnId TransitionMonoid::intern(std::vector<StateId> Fn) {
+  auto It = FnIds.find(Fn);
+  if (It != FnIds.end())
+    return It->second;
+  FnId Id = static_cast<FnId>(size());
+  FnIds.emplace(Fn, Id);
+  Funcs.insert(Funcs.end(), Fn.begin(), Fn.end());
+  bool AllDead = true;
+  for (StateId S : Fn)
+    if (Live.test(S)) {
+      AllDead = false;
+      break;
+    }
+  Useless.push_back(AllDead);
+  Parents.push_back({});
+  return Id;
+}
+
+FnId TransitionMonoid::wordFn(std::span<const SymbolId> W) const {
+  FnId F = identity();
+  for (SymbolId Sym : W)
+    F = compose(symbolFn(Sym), F);
+  return F;
+}
+
+FnId TransitionMonoid::compose(FnId F, FnId G) const {
+  assert(!Overflowed && "composition on an overflowed monoid");
+  assert(F < size() && G < size() && "fn out of range");
+  if (UseDenseTable)
+    return DenseTable[static_cast<size_t>(F) * size() + G];
+  uint64_t Key = (static_cast<uint64_t>(F) << 32) | G;
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  FnId R = composeSlow(F, G);
+  Memo.emplace(Key, R);
+  return R;
+}
+
+FnId TransitionMonoid::composeSlow(FnId F, FnId G) const {
+  std::vector<StateId> Fn(NumStates);
+  for (StateId S = 0; S != NumStates; ++S)
+    Fn[S] = apply(F, apply(G, S));
+  auto It = FnIds.find(Fn);
+  assert(It != FnIds.end() &&
+         "monoid closure missing a product; overflowed?");
+  return It->second;
+}
+
+Word TransitionMonoid::sampleWord(FnId F) const {
+  assert(F < size() && "fn out of range");
+  Word W;
+  while (F != identity()) {
+    const Provenance &P = Parents[F];
+    assert(P.Sym != InvalidSymbol &&
+           "element has no closure provenance");
+    W.push_back(P.Sym);
+    F = P.Prev;
+  }
+  std::reverse(W.begin(), W.end());
+  return W;
+}
+
+std::string TransitionMonoid::toString(FnId F) const {
+  std::ostringstream OS;
+  OS << "[";
+  for (StateId S = 0; S != NumStates; ++S) {
+    if (S)
+      OS << ", ";
+    OS << S << "->" << apply(F, S);
+  }
+  OS << "]";
+  return OS.str();
+}

@@ -1,0 +1,46 @@
+//===- automata/Nfa.cpp - Nondeterministic finite automata ------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Nfa.h"
+
+#include <deque>
+
+using namespace rasc;
+
+void Nfa::epsilonClose(DynamicBitset &Set) const {
+  std::deque<StateId> Work;
+  for (size_t S = Set.findFirst(); S != Set.size(); S = Set.findNext(S + 1))
+    Work.push_back(static_cast<StateId>(S));
+  while (!Work.empty()) {
+    StateId S = Work.front();
+    Work.pop_front();
+    for (StateId T : States[S].Eps)
+      if (!Set.test(T)) {
+        Set.set(T);
+        Work.push_back(T);
+      }
+  }
+}
+
+bool Nfa::accepts(std::span<const SymbolId> W) const {
+  DynamicBitset Cur(numStates());
+  Cur.set(Start);
+  epsilonClose(Cur);
+  for (SymbolId Sym : W) {
+    DynamicBitset Next(numStates());
+    for (size_t S = Cur.findFirst(); S != Cur.size();
+         S = Cur.findNext(S + 1))
+      for (auto [A, T] : States[S].Trans)
+        if (A == Sym)
+          Next.set(T);
+    epsilonClose(Next);
+    Cur = std::move(Next);
+  }
+  for (size_t S = Cur.findFirst(); S != Cur.size(); S = Cur.findNext(S + 1))
+    if (States[S].Accepting)
+      return true;
+  return false;
+}

@@ -1,0 +1,280 @@
+//===- automata/RegexParser.cpp - Regex frontend ----------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/RegexParser.h"
+
+#include "automata/DfaOps.h"
+
+#include <cctype>
+#include <memory>
+
+using namespace rasc;
+
+namespace {
+
+/// Regex AST.
+struct Regex {
+  enum KindTy { Empty, Epsilon, Symbol, Concat, Alt, Star } Kind;
+  std::string Name;                     // Symbol
+  std::unique_ptr<Regex> Lhs, Rhs;      // Concat / Alt / Star (Lhs only)
+
+  explicit Regex(KindTy K) : Kind(K) {}
+};
+
+using RegexPtr = std::unique_ptr<Regex>;
+
+RegexPtr makeNode(Regex::KindTy K, RegexPtr L = nullptr,
+                  RegexPtr R = nullptr) {
+  auto N = std::make_unique<Regex>(K);
+  N->Lhs = std::move(L);
+  N->Rhs = std::move(R);
+  return N;
+}
+
+/// Recursive-descent parser.
+class Parser {
+public:
+  Parser(std::string_view Input, std::string *Error)
+      : Input(Input), Error(Error) {}
+
+  RegexPtr parse() {
+    RegexPtr R = parseAlt();
+    if (!R)
+      return nullptr;
+    skipSpace();
+    if (Pos != Input.size()) {
+      fail("unexpected trailing input");
+      return nullptr;
+    }
+    return R;
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Input.size() &&
+           std::isspace(static_cast<unsigned char>(Input[Pos])))
+      ++Pos;
+  }
+
+  bool atAtomStart() {
+    skipSpace();
+    if (Pos >= Input.size())
+      return false;
+    char C = Input[Pos];
+    return C == '(' || C == '%' || C == '_' ||
+           std::isalnum(static_cast<unsigned char>(C));
+  }
+
+  void fail(std::string_view Msg) {
+    if (Error && Error->empty())
+      *Error = std::string(Msg) + " at offset " + std::to_string(Pos);
+  }
+
+  RegexPtr parseAlt() {
+    RegexPtr L = parseCat();
+    if (!L)
+      return nullptr;
+    skipSpace();
+    while (Pos < Input.size() && Input[Pos] == '|') {
+      ++Pos;
+      RegexPtr R = parseCat();
+      if (!R)
+        return nullptr;
+      L = makeNode(Regex::Alt, std::move(L), std::move(R));
+      skipSpace();
+    }
+    return L;
+  }
+
+  RegexPtr parseCat() {
+    RegexPtr L = parseRep();
+    if (!L)
+      return nullptr;
+    while (atAtomStart()) {
+      RegexPtr R = parseRep();
+      if (!R)
+        return nullptr;
+      L = makeNode(Regex::Concat, std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  RegexPtr parseRep() {
+    RegexPtr A = parseAtom();
+    if (!A)
+      return nullptr;
+    skipSpace();
+    while (Pos < Input.size() &&
+           (Input[Pos] == '*' || Input[Pos] == '+' || Input[Pos] == '?')) {
+      char Op = Input[Pos++];
+      if (Op == '*') {
+        A = makeNode(Regex::Star, std::move(A));
+      } else if (Op == '+') {
+        // A+ == A A*  -- duplicate by deep copy.
+        RegexPtr Copy = clone(*A);
+        A = makeNode(Regex::Concat, std::move(A),
+                     makeNode(Regex::Star, std::move(Copy)));
+      } else { // '?'
+        A = makeNode(Regex::Alt, std::move(A),
+                     makeNode(Regex::Epsilon));
+      }
+      skipSpace();
+    }
+    return A;
+  }
+
+  RegexPtr parseAtom() {
+    skipSpace();
+    if (Pos >= Input.size()) {
+      fail("expected symbol, '(' or '%eps'");
+      return nullptr;
+    }
+    char C = Input[Pos];
+    if (C == '(') {
+      ++Pos;
+      RegexPtr R = parseAlt();
+      if (!R)
+        return nullptr;
+      skipSpace();
+      if (Pos >= Input.size() || Input[Pos] != ')') {
+        fail("expected ')'");
+        return nullptr;
+      }
+      ++Pos;
+      return R;
+    }
+    if (C == '%') {
+      if (Input.substr(Pos, 4) == "%eps") {
+        Pos += 4;
+        return makeNode(Regex::Epsilon);
+      }
+      fail("unknown escape; only %eps is recognized");
+      return nullptr;
+    }
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Input.size() &&
+             (std::isalnum(static_cast<unsigned char>(Input[Pos])) ||
+              Input[Pos] == '_'))
+        ++Pos;
+      auto N = makeNode(Regex::Symbol);
+      N->Name = std::string(Input.substr(Start, Pos - Start));
+      return N;
+    }
+    fail("unexpected character");
+    return nullptr;
+  }
+
+  static RegexPtr clone(const Regex &R) {
+    auto N = std::make_unique<Regex>(R.Kind);
+    N->Name = R.Name;
+    if (R.Lhs)
+      N->Lhs = clone(*R.Lhs);
+    if (R.Rhs)
+      N->Rhs = clone(*R.Rhs);
+    return N;
+  }
+
+  std::string_view Input;
+  std::string *Error;
+  size_t Pos = 0;
+};
+
+void collectSymbols(const Regex &R, std::vector<std::string> &Out) {
+  if (R.Kind == Regex::Symbol) {
+    for (const std::string &S : Out)
+      if (S == R.Name)
+        return;
+    Out.push_back(R.Name);
+    return;
+  }
+  if (R.Lhs)
+    collectSymbols(*R.Lhs, Out);
+  if (R.Rhs)
+    collectSymbols(*R.Rhs, Out);
+}
+
+/// Thompson construction: returns (entry, exit) of a fragment with a
+/// single entry and single accepting exit.
+std::pair<StateId, StateId> thompson(const Regex &R, Nfa &N) {
+  StateId In = N.addState();
+  StateId Out = N.addState();
+  switch (R.Kind) {
+  case Regex::Empty:
+    break; // no path from In to Out
+  case Regex::Epsilon:
+    N.addEpsilon(In, Out);
+    break;
+  case Regex::Symbol: {
+    SymbolId Sym = InvalidSymbol;
+    for (SymbolId I = 0, E = N.numSymbols(); I != E; ++I)
+      if (N.alphabet()[I] == R.Name) {
+        Sym = I;
+        break;
+      }
+    assert(Sym != InvalidSymbol && "symbol collected earlier");
+    N.addTransition(In, Sym, Out);
+    break;
+  }
+  case Regex::Concat: {
+    auto [AIn, AOut] = thompson(*R.Lhs, N);
+    auto [BIn, BOut] = thompson(*R.Rhs, N);
+    N.addEpsilon(In, AIn);
+    N.addEpsilon(AOut, BIn);
+    N.addEpsilon(BOut, Out);
+    break;
+  }
+  case Regex::Alt: {
+    auto [AIn, AOut] = thompson(*R.Lhs, N);
+    auto [BIn, BOut] = thompson(*R.Rhs, N);
+    N.addEpsilon(In, AIn);
+    N.addEpsilon(In, BIn);
+    N.addEpsilon(AOut, Out);
+    N.addEpsilon(BOut, Out);
+    break;
+  }
+  case Regex::Star: {
+    auto [AIn, AOut] = thompson(*R.Lhs, N);
+    N.addEpsilon(In, Out);
+    N.addEpsilon(In, AIn);
+    N.addEpsilon(AOut, AIn);
+    N.addEpsilon(AOut, Out);
+    break;
+  }
+  }
+  return {In, Out};
+}
+
+} // namespace
+
+std::optional<Nfa>
+rasc::parseRegexToNfa(std::string_view Pattern,
+                      const std::vector<std::string> &ExtraSymbols,
+                      std::string *Error) {
+  Parser P(Pattern, Error);
+  RegexPtr R = P.parse();
+  if (!R)
+    return std::nullopt;
+
+  std::vector<std::string> Symbols = ExtraSymbols;
+  collectSymbols(*R, Symbols);
+
+  Nfa N(Symbols);
+  auto [In, Out] = thompson(*R, N);
+  N.setStart(In);
+  N.setAccepting(Out);
+  return N;
+}
+
+std::optional<Dfa>
+rasc::compileRegex(std::string_view Pattern,
+                   const std::vector<std::string> &ExtraSymbols,
+                   std::string *Error) {
+  std::optional<Nfa> N = parseRegexToNfa(Pattern, ExtraSymbols, Error);
+  if (!N)
+    return std::nullopt;
+  return minimize(determinize(*N));
+}

@@ -1,0 +1,53 @@
+//===- automata/RegexParser.h - Regex frontend ------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small regular-expression frontend over symbolic alphabets.
+/// Annotation languages can be given either as an explicit automaton
+/// specification (src/spec) or as a regex; both compile down to a
+/// minimized DFA whose transition monoid drives the solver.
+///
+/// Grammar (symbols are identifiers, whitespace separates them):
+///
+///   alt   ::= cat ('|' cat)*
+///   cat   ::= rep rep*
+///   rep   ::= atom ('*' | '+' | '?')*
+///   atom  ::= IDENT | '(' alt ')' | '%eps'
+///
+/// Example: "(g k)* g" or "seteuid_zero (seteuid_nonzero seteuid_zero)*".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_AUTOMATA_REGEXPARSER_H
+#define RASC_AUTOMATA_REGEXPARSER_H
+
+#include "automata/Dfa.h"
+#include "automata/Nfa.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rasc {
+
+/// Parses \p Pattern into an NFA via Thompson's construction.
+/// \p ExtraSymbols are added to the alphabet even if unused in the
+/// pattern (so machines over a common alphabet can be combined).
+/// On failure returns std::nullopt and fills \p Error.
+std::optional<Nfa>
+parseRegexToNfa(std::string_view Pattern,
+                const std::vector<std::string> &ExtraSymbols,
+                std::string *Error);
+
+/// Convenience: parse, determinize, and minimize.
+std::optional<Dfa>
+compileRegex(std::string_view Pattern,
+             const std::vector<std::string> &ExtraSymbols = {},
+             std::string *Error = nullptr);
+
+} // namespace rasc
+
+#endif // RASC_AUTOMATA_REGEXPARSER_H

@@ -1,0 +1,59 @@
+//===- core/ConstraintSystem.cpp - Annotated set constraints ----*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConstraintSystem.h"
+
+#include <sstream>
+
+using namespace rasc;
+
+ExprId ConstraintSystem::intern(Expr E) const {
+  uint64_t H = hashCombine(static_cast<uint64_t>(E.Kind),
+                           (static_cast<uint64_t>(E.C) << 32) | E.Index);
+  H = hashCombine(H, E.V);
+  H = hashRange(E.Args.begin(), E.Args.end(), H);
+
+  auto Range = ExprIds.equal_range(H);
+  for (auto It = Range.first; It != Range.second; ++It) {
+    const Expr &Cand = Exprs[It->second];
+    if (Cand.Kind == E.Kind && Cand.C == E.C && Cand.Index == E.Index &&
+        Cand.V == E.V && Cand.Args == E.Args)
+      return It->second;
+  }
+  if (E.Kind == ExprKind::Cons)
+    E.Alpha = NumFnVars++;
+  ExprId Id = static_cast<ExprId>(Exprs.size());
+  Exprs.push_back(std::move(E));
+  ExprIds.emplace(H, Id);
+  return Id;
+}
+
+std::string ConstraintSystem::exprToString(ExprId Id) const {
+  const Expr &E = expr(Id);
+  std::ostringstream OS;
+  switch (E.Kind) {
+  case ExprKind::Var:
+    OS << varName(E.V);
+    break;
+  case ExprKind::Cons:
+    OS << constructor(E.C).Name;
+    if (!E.Args.empty()) {
+      OS << "(";
+      for (size_t I = 0; I != E.Args.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << varName(E.Args[I]);
+      }
+      OS << ")";
+    }
+    break;
+  case ExprKind::Proj:
+    OS << constructor(E.C).Name << "^-" << (E.Index + 1) << "("
+       << varName(E.V) << ")";
+    break;
+  }
+  return OS.str();
+}

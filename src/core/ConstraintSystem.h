@@ -1,0 +1,204 @@
+//===- core/ConstraintSystem.h - Annotated set constraints ------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Representation of a system of regularly annotated set constraints
+/// (paper Section 2). Set expressions are
+///
+///   se ::= X | c^alpha(X1, ..., Xn) | c^-i(X)
+///
+/// i.e. constructor arguments and projection subjects are variables;
+/// nested expressions are encoded with auxiliary variables. Every
+/// constructor expression carries a *function variable* alpha (its
+/// word-set variable, Section 2.4); these are allocated automatically
+/// and never appear in the surface API, matching the paper ("it is
+/// possible to infer the needed set expression annotations during
+/// constraint resolution").
+///
+/// A constraint lhs ⊆^a rhs carries an annotation-domain element a;
+/// surface systems use single symbols or the identity, but any interned
+/// element is accepted. Projections may not appear on the right-hand
+/// side, and (a representation choice, asserted) a projection
+/// left-hand side requires a variable right-hand side.
+///
+/// Expressions are hash-consed: structurally equal expressions share
+/// an ExprId (and hence a function variable), as in BANSHEE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_CORE_CONSTRAINTSYSTEM_H
+#define RASC_CORE_CONSTRAINTSYSTEM_H
+
+#include "core/Annotation.h"
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rasc {
+
+using VarId = uint32_t;
+using ConsId = uint32_t;
+using ExprId = uint32_t;
+using FnVarId = uint32_t;
+
+constexpr ExprId InvalidExpr = ~ExprId(0);
+constexpr VarId InvalidVar = ~VarId(0);
+
+/// A term constructor with a fixed arity.
+struct Constructor {
+  std::string Name;
+  uint32_t Arity;
+};
+
+enum class ExprKind : uint8_t {
+  Var,  ///< A set variable.
+  Cons, ///< c^alpha(X1, ..., Xn); arity-0 constructors are constants.
+  Proj, ///< c^-i(X), 0-based component index.
+};
+
+/// One hash-consed set expression.
+struct Expr {
+  ExprKind Kind;
+  ConsId C = 0;             ///< Cons / Proj: the constructor.
+  uint32_t Index = 0;       ///< Proj: projected component (0-based).
+  VarId V = InvalidVar;     ///< Var: the variable; Proj: the subject.
+  FnVarId Alpha = 0;        ///< Cons: this occurrence's function variable.
+  std::vector<VarId> Args;  ///< Cons: argument variables.
+};
+
+/// One constraint Lhs ⊆^Ann Rhs.
+struct Constraint {
+  ExprId Lhs;
+  ExprId Rhs;
+  AnnId Ann;
+};
+
+/// Builder and owner of a constraint system over a fixed annotation
+/// domain. The solver reads it; systems may keep growing between
+/// solver runs (online solving).
+class ConstraintSystem {
+public:
+  explicit ConstraintSystem(const AnnotationDomain &Domain)
+      : Domain(Domain) {}
+
+  const AnnotationDomain &domain() const { return Domain; }
+
+  /// Declares a constructor. Names are for diagnostics; distinct calls
+  /// always create distinct constructors.
+  ConsId addConstructor(std::string Name, uint32_t Arity) {
+    Constructors.push_back({std::move(Name), Arity});
+    return static_cast<ConsId>(Constructors.size() - 1);
+  }
+
+  /// Convenience for an arity-0 constructor (a constant).
+  ConsId addConstant(std::string Name) {
+    return addConstructor(std::move(Name), 0);
+  }
+
+  /// Creates a fresh set variable.
+  VarId freshVar(std::string Name = "") {
+    if (Name.empty())
+      Name = "X" + std::to_string(VarNames.size());
+    VarNames.push_back(std::move(Name));
+    return static_cast<VarId>(VarNames.size() - 1);
+  }
+
+  uint32_t numVars() const { return static_cast<uint32_t>(VarNames.size()); }
+  uint32_t numExprs() const { return static_cast<uint32_t>(Exprs.size()); }
+  uint32_t numFnVars() const { return NumFnVars; }
+
+  const std::string &varName(VarId V) const {
+    assert(V < VarNames.size() && "variable out of range");
+    return VarNames[V];
+  }
+
+  const Constructor &constructor(ConsId C) const {
+    assert(C < Constructors.size() && "constructor out of range");
+    return Constructors[C];
+  }
+
+  const Expr &expr(ExprId E) const {
+    assert(E < Exprs.size() && "expression out of range");
+    return Exprs[E];
+  }
+
+  /// The expression node for a variable.
+  ExprId var(VarId V) const {
+    assert(V < VarNames.size() && "variable out of range");
+    return intern(Expr{ExprKind::Var, 0, 0, V, 0, {}});
+  }
+
+  /// The expression c^alpha(Args...); a fresh function variable alpha
+  /// is allocated the first time this exact expression is built.
+  ExprId cons(ConsId C, std::vector<VarId> Args = {}) const {
+    assert(C < Constructors.size() && "constructor out of range");
+    assert(Args.size() == Constructors[C].Arity && "arity mismatch");
+    return intern(Expr{ExprKind::Cons, C, 0, InvalidVar, 0,
+                       std::move(Args)});
+  }
+
+  /// The expression c^-Index(Subject) with a 0-based Index (the paper
+  /// writes 1-based c^-i).
+  ExprId proj(ConsId C, uint32_t Index, VarId Subject) const {
+    assert(C < Constructors.size() && "constructor out of range");
+    assert(Index < Constructors[C].Arity && "projection out of range");
+    return intern(Expr{ExprKind::Proj, C, Index, Subject, 0, {}});
+  }
+
+  /// Adds Lhs ⊆^Ann Rhs. Projections may not appear on the right; a
+  /// projection left-hand side requires a variable right-hand side.
+  void add(ExprId Lhs, ExprId Rhs, AnnId Ann) {
+    assert(Lhs < Exprs.size() && Rhs < Exprs.size() && "bad expression");
+    assert(Exprs[Rhs].Kind != ExprKind::Proj &&
+           "projection on the right-hand side of a constraint");
+    assert((Exprs[Lhs].Kind != ExprKind::Proj ||
+            Exprs[Rhs].Kind == ExprKind::Var) &&
+           "projection constraints need a variable right-hand side; "
+           "introduce an auxiliary variable");
+    ConstraintList.push_back({Lhs, Rhs, Ann});
+  }
+
+  /// Adds Lhs ⊆ Rhs with the identity (epsilon) annotation.
+  void add(ExprId Lhs, ExprId Rhs) { add(Lhs, Rhs, Domain.identity()); }
+
+  const std::vector<Constraint> &constraints() const {
+    return ConstraintList;
+  }
+
+  /// A coarse size measure (number of symbols), the "n" of the paper's
+  /// complexity discussion (Section 4).
+  size_t sizeInSymbols() const {
+    size_t N = ConstraintList.size();
+    for (const Expr &E : Exprs)
+      N += 1 + E.Args.size();
+    return N;
+  }
+
+  /// Renders an expression for diagnostics.
+  std::string exprToString(ExprId E) const;
+
+private:
+  ExprId intern(Expr E) const;
+
+  const AnnotationDomain &Domain;
+  std::vector<Constructor> Constructors;
+  std::vector<std::string> VarNames;
+  std::vector<Constraint> ConstraintList;
+
+  // Hash-consing tables. Interning is logically const (ids are stable
+  // and deduplicated), hence mutable.
+  mutable std::vector<Expr> Exprs;
+  mutable std::unordered_multimap<uint64_t, ExprId> ExprIds;
+  mutable FnVarId NumFnVars = 0;
+};
+
+} // namespace rasc
+
+#endif // RASC_CORE_CONSTRAINTSYSTEM_H

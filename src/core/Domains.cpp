@@ -1,0 +1,70 @@
+//===- core/Domains.cpp - Concrete annotation domains -----------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Domains.h"
+
+#include <sstream>
+
+using namespace rasc;
+
+MonoidDomain::MonoidDomain(Dfa M, TransitionMonoid::Options Opts)
+    : Machine(std::make_unique<Dfa>(std::move(M))),
+      Mon(std::make_unique<TransitionMonoid>(*Machine, Opts)) {
+  assert(!Mon->overflowed() &&
+         "annotation monoid exceeded the element cap; raise "
+         "TransitionMonoid::Options::MaxElements or use a "
+         "unidirectional solver");
+}
+
+GenKillDomain::GenKillDomain(unsigned NumBits)
+    : NumBits(NumBits),
+      Mask(NumBits >= 64 ? ~uint64_t(0)
+                         : (uint64_t(1) << NumBits) - 1) {
+  assert(NumBits >= 1 && NumBits <= 64 && "1..64 bits supported");
+  // Identity first so identity() == 0.
+  makeElem(0, 0);
+}
+
+AnnId GenKillDomain::makeElem(uint64_t Gen, uint64_t Kill) const {
+  Gen &= Mask;
+  Kill &= Mask;
+  assert((Gen & Kill) == 0 && "gen and kill must be disjoint");
+  auto [It, Inserted] =
+      Ids.emplace(std::make_pair(Gen, Kill),
+                  static_cast<AnnId>(Elems.size()));
+  if (Inserted)
+    Elems.emplace_back(Gen, Kill);
+  return It->second;
+}
+
+AnnId GenKillDomain::compose(AnnId F, AnnId G) const {
+  assert(F < Elems.size() && G < Elems.size() && "id out of range");
+  uint64_t Key = (static_cast<uint64_t>(F) << 32) | G;
+  auto It = ComposeMemo.find(Key);
+  if (It != ComposeMemo.end())
+    return It->second;
+  // G first, then F: X |-> apply_F(apply_G(X)).
+  auto [GenF, KillF] = Elems[F];
+  auto [GenG, KillG] = Elems[G];
+  uint64_t Gen = GenF | (GenG & ~KillF);
+  uint64_t Kill = KillF | (KillG & ~GenF);
+  AnnId R = makeElem(Gen, Kill & ~Gen);
+  ComposeMemo.emplace(Key, R);
+  return R;
+}
+
+std::string GenKillDomain::toString(AnnId F) const {
+  assert(F < Elems.size() && "id out of range");
+  std::ostringstream OS;
+  OS << "{gen=";
+  for (unsigned I = 0; I != NumBits; ++I)
+    OS << ((Elems[F].first >> I) & 1);
+  OS << ", kill=";
+  for (unsigned I = 0; I != NumBits; ++I)
+    OS << ((Elems[F].second >> I) & 1);
+  OS << "}";
+  return OS.str();
+}

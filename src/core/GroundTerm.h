@@ -1,0 +1,52 @@
+//===- core/GroundTerm.h - Annotated ground terms ---------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Annotated ground terms c^w(t1, ..., tn) from the M-annotated domain
+/// T^{M^sub} (paper Section 2.3), with the annotation class stored as
+/// a domain element. Used to materialize (finite fragments of) least
+/// solutions, as witnesses for queries, and for the stack-aware alias
+/// queries of Section 7.5, where solutions are intersected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_CORE_GROUNDTERM_H
+#define RASC_CORE_GROUNDTERM_H
+
+#include "core/Annotation.h"
+#include "core/ConstraintSystem.h"
+
+#include <string>
+#include <vector>
+
+namespace rasc {
+
+/// A ground term with one annotation class per constructor level.
+struct GroundTerm {
+  ConsId C;
+  AnnId Ann;
+  std::vector<GroundTerm> Kids;
+
+  friend bool operator==(const GroundTerm &A, const GroundTerm &B) {
+    return A.C == B.C && A.Ann == B.Ann && A.Kids == B.Kids;
+  }
+};
+
+/// t . w: appends annotation class \p W at every level (the paper's
+/// append operation on annotated terms).
+GroundTerm appendAnn(const AnnotationDomain &D, GroundTerm T, AnnId W);
+
+/// \returns true if the unannotated skeletons of A and B are equal
+/// (constructors and arity, ignoring annotation classes). Alias
+/// queries intersect solutions modulo annotations.
+bool sameSkeleton(const GroundTerm &A, const GroundTerm &B);
+
+/// Renders e.g. "o1^[0->1,1->1](pc^[...])".
+std::string toString(const ConstraintSystem &CS, const GroundTerm &T);
+
+} // namespace rasc
+
+#endif // RASC_CORE_GROUNDTERM_H

@@ -1,0 +1,664 @@
+//===- core/Solver.cpp - Bidirectional annotated solver ---------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Solver.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace rasc;
+
+const std::vector<AnnId> &AtomReachability::annotations(VarId V) const {
+  static const std::vector<AnnId> Empty;
+  if (Solver)
+    V = Solver->rep(V);
+  auto It = Facts.find(V);
+  return It == Facts.end() ? Empty : It->second;
+}
+
+std::vector<ConsId> AtomReachability::witnessStack(VarId V,
+                                                   AnnId Ann) const {
+  std::vector<ConsId> Stack;
+  if (Solver)
+    V = Solver->rep(V);
+  uint64_t Key = (static_cast<uint64_t>(V) << 32) | Ann;
+  auto It = Parents.find(Key);
+  while (It != Parents.end() && It->second.InnerVar != InvalidVar) {
+    Stack.push_back(It->second.C);
+    Key = (static_cast<uint64_t>(It->second.InnerVar) << 32) |
+          It->second.InnerAnn;
+    It = Parents.find(Key);
+  }
+  return Stack;
+}
+
+BidirectionalSolver::BidirectionalSolver(const ConstraintSystem &CS,
+                                         SolverOptions Opts)
+    : CS(CS), Options(Opts) {}
+
+VarId BidirectionalSolver::rep(VarId V) const {
+  VarReps.grow(V + 1);
+  return VarReps.find(V);
+}
+
+void BidirectionalSolver::growTo(ExprId E) {
+  size_t Need = std::max<size_t>(E + 1, CS.numExprs());
+  if (Succs.size() < Need) {
+    Succs.resize(Need);
+    Preds.resize(Need);
+    Watchers.resize(Need);
+  }
+}
+
+ExprId BidirectionalSolver::canonicalize(ExprId E) {
+  const Expr &Ex = CS.expr(E);
+  switch (Ex.Kind) {
+  case ExprKind::Var:
+    return CS.var(rep(Ex.V));
+  case ExprKind::Cons: {
+    std::vector<VarId> Args;
+    Args.reserve(Ex.Args.size());
+    bool Changed = false;
+    for (VarId A : Ex.Args) {
+      VarId R = rep(A);
+      Changed |= R != A;
+      Args.push_back(R);
+    }
+    return Changed ? CS.cons(Ex.C, std::move(Args)) : E;
+  }
+  case ExprKind::Proj: {
+    VarId R = rep(Ex.V);
+    return R == Ex.V ? E : CS.proj(Ex.C, Ex.Index, R);
+  }
+  }
+  return E;
+}
+
+void BidirectionalSolver::collapseCycles(size_t FirstNew) {
+  // Collapse strongly connected components of *identity-annotated
+  // variable-variable* surface constraints. Only identity cycles may
+  // be collapsed: an annotated cycle X ⊆^f Y ⊆ X equates X and Y only
+  // up to annotation shifts.
+  const std::vector<Constraint> &Cons = CS.constraints();
+  AnnId Identity = CS.domain().identity();
+
+  std::vector<std::vector<uint32_t>> Adj(CS.numVars());
+  bool Any = false;
+  for (size_t I = FirstNew; I != Cons.size(); ++I) {
+    const Expr &L = CS.expr(Cons[I].Lhs);
+    const Expr &R = CS.expr(Cons[I].Rhs);
+    if (Cons[I].Ann != Identity || L.Kind != ExprKind::Var ||
+        R.Kind != ExprKind::Var)
+      continue;
+    Adj[L.V].push_back(R.V);
+    Any = true;
+  }
+  if (!Any)
+    return;
+
+  // Iterative Tarjan SCC.
+  uint32_t N = CS.numVars();
+  std::vector<uint32_t> Index(N, ~0u), Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<uint32_t> Stack;
+  uint32_t NextIndex = 0;
+
+  struct Frame {
+    uint32_t V;
+    size_t Child;
+  };
+  std::vector<Frame> Frames;
+
+  VarReps.grow(N);
+  for (uint32_t Root = 0; Root != N; ++Root) {
+    if (Index[Root] != ~0u)
+      continue;
+    Frames.push_back({Root, 0});
+    while (!Frames.empty()) {
+      Frame &F = Frames.back();
+      uint32_t V = F.V;
+      if (F.Child == 0) {
+        Index[V] = Low[V] = NextIndex++;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      if (F.Child < Adj[V].size()) {
+        uint32_t W = Adj[V][F.Child++];
+        if (Index[W] == ~0u) {
+          Frames.push_back({W, 0});
+        } else if (OnStack[W]) {
+          Low[V] = std::min(Low[V], Index[W]);
+        }
+        continue;
+      }
+      // All children done.
+      if (Low[V] == Index[V]) {
+        uint32_t First = ~0u;
+        while (true) {
+          uint32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          if (First == ~0u) {
+            First = W;
+          } else {
+            VarReps.merge(First, W);
+            ++Stats.CollapsedVars;
+          }
+          if (W == V)
+            break;
+        }
+      }
+      Frames.pop_back();
+      if (!Frames.empty()) {
+        Frame &Parent = Frames.back();
+        Low[Parent.V] = std::min(Low[Parent.V], Low[V]);
+      }
+    }
+  }
+}
+
+void BidirectionalSolver::ingest(const Constraint &C) {
+  ExprId L = canonicalize(C.Lhs);
+  ExprId R = canonicalize(C.Rhs);
+  const Expr &LE = CS.expr(L);
+
+  if (LE.Kind != ExprKind::Proj) {
+    addEdge(L, R, C.Ann);
+    return;
+  }
+
+  // Projection constraint c^-i(Y) ⊆^g Z: register a watcher on Y and
+  // replay the constructor lower bounds Y already has.
+  const Expr &RE = CS.expr(R);
+  assert(RE.Kind == ExprKind::Var && "checked by ConstraintSystem::add");
+  ExprId YNode = CS.var(LE.V);
+  growTo(YNode);
+  Watchers[YNode].push_back({LE.C, LE.Index, RE.V, C.Ann});
+
+  // Copy: addEdge below may reallocate the adjacency vectors.
+  auto Existing = Preds[YNode];
+  for (auto [Src, F] : Existing) {
+    const Expr &SE = CS.expr(Src);
+    if (SE.Kind != ExprKind::Cons || SE.C != LE.C)
+      continue;
+    ++Stats.ProjectionSteps;
+    ++Stats.ComposeCalls;
+    addEdge(CS.var(SE.Args[LE.Index]), CS.var(RE.V),
+            CS.domain().compose(C.Ann, F));
+  }
+}
+
+void BidirectionalSolver::addEdge(ExprId Src, ExprId Dst, AnnId Ann) {
+  if (Stat == Status::EdgeLimit)
+    return;
+  if (Options.FilterUseless && CS.domain().isUseless(Ann)) {
+    ++Stats.UselessFiltered;
+    return;
+  }
+  Edge E{Src, Dst, Ann};
+  if (!EdgeSet.insert(E).second) {
+    ++Stats.EdgesDropped;
+    return;
+  }
+  if (++Stats.EdgesInserted > Options.MaxEdges) {
+    Stat = Status::EdgeLimit;
+    return;
+  }
+  growTo(std::max(Src, Dst));
+
+  const Expr &SE = CS.expr(Src);
+  const Expr &DE = CS.expr(Dst);
+  if (SE.Kind == ExprKind::Cons && DE.Kind == ExprKind::Cons &&
+      SE.C != DE.C) {
+    // Rule 2: constructor mismatch; manifestly inconsistent.
+    Conflicts.push_back({Src, Dst, Ann});
+    return;
+  }
+
+  Succs[Src].emplace_back(Dst, Ann);
+  Preds[Dst].emplace_back(Src, Ann);
+  Pending.push_back(E);
+}
+
+void BidirectionalSolver::decompose(const Edge &E) {
+  const Expr &L = CS.expr(E.Src);
+  const Expr &R = CS.expr(E.Dst);
+  assert(L.C == R.C && "mismatch handled at insertion");
+  ++Stats.DecomposeSteps;
+  for (size_t I = 0; I != L.Args.size(); ++I)
+    addEdge(CS.var(L.Args[I]), CS.var(R.Args[I]), E.Ann);
+  addFnVarConstraint(L.Alpha, E.Ann, R.Alpha);
+}
+
+void BidirectionalSolver::process(const Edge &E) {
+  const AnnotationDomain &D = CS.domain();
+  const Expr &SE = CS.expr(E.Src);
+  const Expr &DE = CS.expr(E.Dst);
+
+  if (SE.Kind == ExprKind::Cons && DE.Kind == ExprKind::Cons) {
+    decompose(E);
+    return;
+  }
+
+  // Adjacency vectors are append-only; index-based iteration over the
+  // size observed at entry is safe against reallocation, and entries
+  // appended mid-loop are covered when their own edge is processed.
+  if (DE.Kind == ExprKind::Var) {
+    // Transitive rule forward: E then (Dst ⊆^g S).
+    for (size_t I = 0, N = Succs[E.Dst].size(); I != N; ++I) {
+      auto [S, G] = Succs[E.Dst][I];
+      ++Stats.ComposeCalls;
+      addEdge(E.Src, S, D.compose(G, E.Ann));
+    }
+    // Projection rule: new constructor lower bound meets watchers.
+    if (SE.Kind == ExprKind::Cons) {
+      for (size_t I = 0, N = Watchers[E.Dst].size(); I != N; ++I) {
+        Watcher W = Watchers[E.Dst][I];
+        if (W.C != SE.C)
+          continue;
+        ++Stats.ProjectionSteps;
+        ++Stats.ComposeCalls;
+        addEdge(CS.var(SE.Args[W.Index]), CS.var(W.Target),
+                D.compose(W.Ann, E.Ann));
+      }
+    }
+  }
+
+  if (SE.Kind == ExprKind::Var) {
+    // Transitive rule backward: (P ⊆^g Src) then E.
+    for (size_t I = 0, N = Preds[E.Src].size(); I != N; ++I) {
+      auto [P, G] = Preds[E.Src][I];
+      ++Stats.ComposeCalls;
+      addEdge(P, E.Dst, D.compose(E.Ann, G));
+    }
+  }
+}
+
+void BidirectionalSolver::addFnVarConstraint(FnVarId From, AnnId Fn,
+                                             FnVarId To) {
+  if (!FnVarSet.insert(Edge{From, To, Fn}).second)
+    return;
+  FnVarCons.push_back({From, Fn, To});
+  ++Stats.FnVarConstraints;
+  FnVarSolFresh = false;
+}
+
+BidirectionalSolver::Status BidirectionalSolver::solve() {
+  if (Stat == Status::EdgeLimit)
+    return Stat;
+
+  // Cycle elimination only considers the first batch: merging
+  // variables after edges exist would orphan bounds recorded on the
+  // pre-merge nodes.
+  if (Options.CycleElimination && NumIngested == 0)
+    collapseCycles(0);
+
+  const std::vector<Constraint> &Cons = CS.constraints();
+  while (NumIngested < Cons.size())
+    ingest(Cons[NumIngested++]);
+
+  while (!Pending.empty()) {
+    if (Stat == Status::EdgeLimit)
+      break;
+    Edge E = Pending.front();
+    Pending.pop_front();
+    process(E);
+  }
+
+  FnVarSolFresh = false;
+  if (Options.EagerFunctionVars)
+    runEagerFnVars();
+
+  if (Stat != Status::EdgeLimit)
+    Stat = Conflicts.empty() ? Status::Solved : Status::Inconsistent;
+  return Stat;
+}
+
+std::vector<std::pair<ExprId, AnnId>>
+BidirectionalSolver::consLowerBounds(VarId V) const {
+  std::vector<std::pair<ExprId, AnnId>> Out;
+  ExprId Node = CS.var(rep(V));
+  if (Node >= Preds.size())
+    return Out;
+  for (auto [Src, Ann] : Preds[Node])
+    if (CS.expr(Src).Kind == ExprKind::Cons)
+      Out.emplace_back(Src, Ann);
+  return Out;
+}
+
+std::vector<std::pair<ExprId, AnnId>>
+BidirectionalSolver::consUpperBounds(VarId V) const {
+  std::vector<std::pair<ExprId, AnnId>> Out;
+  ExprId Node = CS.var(rep(V));
+  if (Node >= Succs.size())
+    return Out;
+  for (auto [Dst, Ann] : Succs[Node])
+    if (CS.expr(Dst).Kind == ExprKind::Cons)
+      Out.emplace_back(Dst, Ann);
+  return Out;
+}
+
+std::vector<std::pair<VarId, AnnId>>
+BidirectionalSolver::varSuccessors(VarId V) const {
+  std::vector<std::pair<VarId, AnnId>> Out;
+  ExprId Node = CS.var(rep(V));
+  if (Node >= Succs.size())
+    return Out;
+  for (auto [Dst, Ann] : Succs[Node]) {
+    const Expr &E = CS.expr(Dst);
+    if (E.Kind == ExprKind::Var)
+      Out.emplace_back(E.V, Ann);
+  }
+  return Out;
+}
+
+std::vector<AnnId>
+BidirectionalSolver::constantAnnotations(ConsId C, VarId V) const {
+  std::vector<AnnId> Out;
+  for (auto [Src, Ann] : consLowerBounds(V)) {
+    const Expr &E = CS.expr(Src);
+    if (E.C == C && E.Args.empty() &&
+        std::find(Out.begin(), Out.end(), Ann) == Out.end())
+      Out.push_back(Ann);
+  }
+  return Out;
+}
+
+bool BidirectionalSolver::entailsConstant(ConsId C, VarId V) const {
+  for (AnnId Ann : constantAnnotations(C, V))
+    if (CS.domain().isAccepting(Ann))
+      return true;
+  return false;
+}
+
+std::vector<std::vector<AnnId>> BidirectionalSolver::fnVarLeastSolution(
+    std::span<const std::pair<FnVarId, AnnId>> Seeds) const {
+  uint32_t N = CS.numFnVars();
+  std::vector<std::vector<AnnId>> Sol(N);
+  std::unordered_set<uint64_t> Seen;
+  std::deque<std::pair<FnVarId, AnnId>> Work;
+
+  auto addFact = [&](FnVarId A, AnnId F) {
+    if (A >= N)
+      return;
+    if (!Seen.insert((static_cast<uint64_t>(A) << 32) | F).second)
+      return;
+    Sol[A].push_back(F);
+    Work.emplace_back(A, F);
+  };
+
+  for (auto [A, F] : Seeds)
+    addFact(A, F);
+
+  // Index triples by source variable.
+  std::vector<std::vector<std::pair<AnnId, FnVarId>>> Index(N);
+  for (const FnVarConstraint &C : FnVarCons)
+    if (C.From < N)
+      Index[C.From].emplace_back(C.Fn, C.To);
+
+  const AnnotationDomain &D = CS.domain();
+  while (!Work.empty()) {
+    auto [A, F] = Work.front();
+    Work.pop_front();
+    for (auto [Fn, To] : Index[A])
+      addFact(To, D.compose(Fn, F));
+  }
+  for (std::vector<AnnId> &S : Sol)
+    std::sort(S.begin(), S.end());
+  return Sol;
+}
+
+const std::vector<std::vector<AnnId>> &
+BidirectionalSolver::fnVarSolution() const {
+  if (!FnVarSolFresh || EagerFnVarSol.size() != CS.numFnVars()) {
+    std::vector<std::pair<FnVarId, AnnId>> Seeds;
+    Seeds.reserve(CS.numFnVars());
+    for (FnVarId A = 0, E = CS.numFnVars(); A != E; ++A)
+      Seeds.emplace_back(A, CS.domain().identity());
+    EagerFnVarSol = fnVarLeastSolution(Seeds);
+    FnVarSolFresh = true;
+  }
+  return EagerFnVarSol;
+}
+
+void BidirectionalSolver::runEagerFnVars() { (void)fnVarSolution(); }
+
+AtomReachability
+BidirectionalSolver::atomReachability(ConsId Atom,
+                                      bool AllowUnmatchedProjections) const {
+  AtomReachability R;
+  R.Solver = this;
+  const AnnotationDomain &D = CS.domain();
+
+  // Index: wrap steps. For each constructor lower bound ce ⊆^f Y with
+  // ce = c(..., Xi, ...), an atom at Xi with class a occurs inside Y's
+  // terms with class f ∘ a.
+  struct WrapStep {
+    VarId Outer;
+    AnnId Fn;
+    ConsId C;
+  };
+  std::unordered_map<VarId, std::vector<WrapStep>> WrapIdx;
+
+  // Phase: false = "N" (unmatched projections still allowed), true =
+  // "P" (under unmatched constructors). N steps precede P steps.
+  std::deque<std::tuple<VarId, AnnId, bool>> Work;
+  std::unordered_set<uint64_t> Seen;
+
+  auto addFact = [&](VarId V, AnnId A, bool Phase,
+                     AtomReachability::Provenance Prov) {
+    uint64_t Key =
+        (static_cast<uint64_t>(V) << 33) | (static_cast<uint64_t>(A) << 1) |
+        (Phase ? 1 : 0);
+    if (!Seen.insert(Key).second)
+      return;
+    uint64_t AnnKey = (static_cast<uint64_t>(V) << 32) | A;
+    std::vector<AnnId> &Anns = R.Facts[V];
+    if (std::find(Anns.begin(), Anns.end(), A) == Anns.end()) {
+      Anns.push_back(A);
+      R.Parents.emplace(AnnKey, Prov);
+    }
+    Work.emplace_back(V, A, Phase);
+  };
+
+  for (ExprId Node = 0; Node != Preds.size(); ++Node) {
+    const Expr &NE = CS.expr(Node);
+    if (NE.Kind != ExprKind::Var)
+      continue;
+    for (auto [Src, Ann] : Preds[Node]) {
+      const Expr &SE = CS.expr(Src);
+      if (SE.Kind != ExprKind::Cons)
+        continue;
+      if (SE.C == Atom && SE.Args.empty())
+        addFact(NE.V, Ann, /*Phase=*/false, {});
+      for (uint32_t I = 0; I != SE.Args.size(); ++I)
+        WrapIdx[rep(SE.Args[I])].push_back({NE.V, Ann, SE.C});
+    }
+  }
+
+  while (!Work.empty()) {
+    auto [V, A, Phase] = Work.front();
+    Work.pop_front();
+
+    // P steps: wrap under a constructor flowing somewhere.
+    if (auto It = WrapIdx.find(V); It != WrapIdx.end()) {
+      for (const WrapStep &W : It->second) {
+        AnnId Wrapped = D.compose(W.Fn, A);
+        if (Options.FilterUseless && D.isUseless(Wrapped))
+          continue;
+        addFact(W.Outer, Wrapped, /*Phase=*/true, {W.C, V, A});
+      }
+    }
+
+    if (!AllowUnmatchedProjections || Phase)
+      continue;
+
+    // N steps (phase N only): follow a projection constraint whose
+    // subject contains the atom's context unmatched, and then plain
+    // variable flow from the landing spot (which the closure has not
+    // pre-propagated, unlike the initial facts).
+    ExprId Node = CS.var(V);
+    if (Node < Watchers.size()) {
+      for (const Watcher &W : Watchers[Node]) {
+        AnnId Out = D.compose(W.Ann, A);
+        if (Options.FilterUseless && D.isUseless(Out))
+          continue;
+        addFact(rep(W.Target), Out, /*Phase=*/false, {});
+      }
+    }
+    if (Node < Succs.size()) {
+      for (auto [Dst, G] : Succs[Node]) {
+        const Expr &DE = CS.expr(Dst);
+        if (DE.Kind != ExprKind::Var)
+          continue;
+        AnnId Out = D.compose(G, A);
+        if (Options.FilterUseless && D.isUseless(Out))
+          continue;
+        addFact(DE.V, Out, /*Phase=*/false, {});
+      }
+    }
+  }
+  return R;
+}
+
+void BidirectionalSolver::enumerateTerms(VarId V, unsigned MaxDepth,
+                                         size_t MaxCount,
+                                         std::vector<VarId> &Visiting,
+                                         std::vector<GroundTerm> &Out) const {
+  V = rep(V);
+  if (std::find(Visiting.begin(), Visiting.end(), V) != Visiting.end())
+    return;
+  Visiting.push_back(V);
+
+  const AnnotationDomain &D = CS.domain();
+  const std::vector<std::vector<AnnId>> &FnSol = fnVarSolution();
+  // Root annotation classes of terms built by ce ⊆^F V: the edge
+  // annotation composed with the constructor's own function-variable
+  // solution (identity-seeded).
+  auto rootAnns = [&](const Expr &SE, AnnId F) {
+    std::vector<AnnId> Roots;
+    for (AnnId A : FnSol[SE.Alpha]) {
+      AnnId Root = D.compose(F, A);
+      if (std::find(Roots.begin(), Roots.end(), Root) == Roots.end())
+        Roots.push_back(Root);
+    }
+    return Roots;
+  };
+
+  for (auto [Src, F] : consLowerBounds(V)) {
+    if (Out.size() >= MaxCount)
+      break;
+    const Expr &SE = CS.expr(Src);
+    if (SE.Args.empty()) {
+      for (AnnId Root : rootAnns(SE, F))
+        Out.push_back(GroundTerm{SE.C, Root, {}});
+      continue;
+    }
+    if (MaxDepth == 0)
+      continue;
+    // Enumerate each component, then take the capped product.
+    std::vector<std::vector<GroundTerm>> KidChoices(SE.Args.size());
+    bool AnyEmpty = false;
+    for (size_t I = 0; I != SE.Args.size(); ++I) {
+      enumerateTerms(SE.Args[I], MaxDepth - 1, MaxCount, Visiting,
+                     KidChoices[I]);
+      if (KidChoices[I].empty())
+        AnyEmpty = true;
+    }
+    if (AnyEmpty)
+      continue; // see Solver.h: bottom components are not materialized
+    for (AnnId Root : rootAnns(SE, F)) {
+      std::vector<size_t> Pick(SE.Args.size(), 0);
+      while (Out.size() < MaxCount) {
+        GroundTerm T{SE.C, Root, {}};
+        for (size_t I = 0; I != Pick.size(); ++I)
+          T.Kids.push_back(appendAnn(D, KidChoices[I][Pick[I]], F));
+        Out.push_back(std::move(T));
+        // Advance the mixed-radix counter.
+        size_t I = 0;
+        for (; I != Pick.size(); ++I) {
+          if (++Pick[I] < KidChoices[I].size())
+            break;
+          Pick[I] = 0;
+        }
+        if (I == Pick.size())
+          break;
+      }
+    }
+  }
+  Visiting.pop_back();
+}
+
+std::vector<GroundTerm>
+BidirectionalSolver::groundTerms(VarId V, unsigned MaxDepth,
+                                 size_t MaxCount) const {
+  std::vector<GroundTerm> Out;
+  std::vector<VarId> Visiting;
+  enumerateTerms(V, MaxDepth, MaxCount, Visiting, Out);
+  return Out;
+}
+
+bool BidirectionalSolver::exprIntersectsVar(
+    ExprId E, VarId V,
+    bool (*AcceptAnn)(const AnnotationDomain &, AnnId),
+    unsigned MaxDepth, size_t MaxCount) const {
+  const Expr &Ex = CS.expr(E);
+  assert(Ex.Kind == ExprKind::Cons &&
+         "the general query takes a constructor expression");
+  const AnnotationDomain &D = CS.domain();
+  for (auto [Src, F] : consLowerBounds(V)) {
+    const Expr &SE = CS.expr(Src);
+    if (SE.C != Ex.C)
+      continue;
+    if (AcceptAnn && !AcceptAnn(D, F))
+      continue;
+    // Each component of the bound must share terms with the query
+    // expression's corresponding component variable.
+    bool AllShare = true;
+    for (size_t I = 0; I != Ex.Args.size() && AllShare; ++I)
+      AllShare = solutionsIntersect(Ex.Args[I], SE.Args[I],
+                                    MaxDepth > 0 ? MaxDepth - 1 : 0,
+                                    MaxCount);
+    if (AllShare)
+      return true;
+  }
+  return false;
+}
+
+std::string BidirectionalSolver::toDot(std::string_view Title) const {
+  std::ostringstream OS;
+  OS << "digraph \"" << Title << "\" {\n  rankdir=LR;\n";
+  const AnnotationDomain &D = CS.domain();
+  for (ExprId Node = 0; Node != Succs.size(); ++Node) {
+    if (Succs[Node].empty() && (Node >= Preds.size() || Preds[Node].empty()))
+      continue;
+    const Expr &E = CS.expr(Node);
+    OS << "  n" << Node << " [label=\"" << CS.exprToString(Node)
+       << "\", shape="
+       << (E.Kind == ExprKind::Var ? "ellipse" : "box") << "];\n";
+  }
+  for (ExprId Node = 0; Node != Succs.size(); ++Node)
+    for (auto [Dst, Ann] : Succs[Node]) {
+      OS << "  n" << Node << " -> n" << Dst;
+      if (Ann != D.identity())
+        OS << " [label=\"" << D.toString(Ann) << "\"]";
+      OS << ";\n";
+    }
+  OS << "}\n";
+  return OS.str();
+}
+
+bool BidirectionalSolver::solutionsIntersect(VarId A, VarId B,
+                                             unsigned MaxDepth,
+                                             size_t MaxCount) const {
+  std::vector<GroundTerm> TA = groundTerms(A, MaxDepth, MaxCount);
+  std::vector<GroundTerm> TB = groundTerms(B, MaxDepth, MaxCount);
+  for (const GroundTerm &X : TA)
+    for (const GroundTerm &Y : TB)
+      if (sameSkeleton(X, Y))
+        return true;
+  return false;
+}

@@ -1,0 +1,303 @@
+//===- core/Solver.h - Bidirectional annotated solver -----------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bidirectional constraint resolution algorithm of paper
+/// Section 3: a worklist transitive closure over the constraint graph
+/// that composes annotations through the domain's (table-backed)
+/// composition, with the three resolution rules
+///
+///   c^a(X1..Xn) ⊆^f c^b(Y1..Yn)  =>  /\ Xi ⊆^f Yi  and  f∘a ⊆ b
+///   c^a(...)    ⊆^f d^b(...)     =>  inconsistent (c != d)
+///   c^a(..Xi..) ⊆^f Y, c^-i(Y) ⊆^g Z  =>  Xi ⊆^{g∘f} Z
+///   se1 ⊆^f X,  X ⊆^g se2        =>  se1 ⊆^{g∘f} se2
+///
+/// (The projection rule is the paper's rule generalized to annotated
+/// premises; with epsilon annotations it is literally the paper's.)
+/// The solver is online: constraints appended to the system after a
+/// solve() are picked up by the next solve().
+///
+/// Queries (Section 3.2) are answered on the solved form: entailment
+/// of annotated constants, function-variable least solutions under
+/// query seeds, least-solution ground term enumeration, and the
+/// PN-reachability atom queries used by pushdown model checking
+/// (Section 6.2), with witnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_CORE_SOLVER_H
+#define RASC_CORE_SOLVER_H
+
+#include "core/ConstraintSystem.h"
+#include "core/GroundTerm.h"
+#include "support/UnionFind.h"
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rasc {
+
+/// Tuning knobs; the defaults match the paper's implementation notes.
+struct SolverOptions {
+  /// Drop edges whose annotation can never extend to an accepting
+  /// word (Section 3.1). Ablation: Figure 2-style machines explode
+  /// without it on constraint systems with dead compositions.
+  bool FilterUseless = true;
+
+  /// Collapse cycles of identity-annotated variable-variable surface
+  /// constraints before solving (an offline variant of partial online
+  /// cycle elimination [Fähndrich et al.]; only identity cycles are
+  /// sound to collapse in the annotated setting).
+  bool CycleElimination = true;
+
+  /// Maintain the function-variable least solution (seeded with the
+  /// identity everywhere) during solving instead of reconstructing it
+  /// at query time. The paper's implementation omits the eager work
+  /// (Section 8); both modes answer queries identically.
+  bool EagerFunctionVars = false;
+
+  /// Hard cap on inserted edges; exceeding it aborts with
+  /// Status::EdgeLimit (protects the superexponential bidirectional
+  /// worst case, Section 4).
+  uint64_t MaxEdges = uint64_t(1) << 24;
+};
+
+/// Counters for the complexity experiments.
+struct SolverStats {
+  uint64_t EdgesInserted = 0;
+  uint64_t EdgesDropped = 0; // duplicate edges
+  uint64_t UselessFiltered = 0;
+  uint64_t ComposeCalls = 0;
+  uint64_t DecomposeSteps = 0;
+  uint64_t ProjectionSteps = 0;
+  uint64_t FnVarConstraints = 0;
+  uint64_t CollapsedVars = 0;
+};
+
+/// A derived inclusion edge src ⊆^Ann dst between expression nodes.
+struct SolvedEdge {
+  ExprId Src;
+  ExprId Dst;
+  AnnId Ann;
+};
+
+/// A function-variable constraint f ∘ From ⊆ To produced by the
+/// structural rule.
+struct FnVarConstraint {
+  FnVarId From;
+  AnnId Fn;
+  FnVarId To;
+};
+
+class BidirectionalSolver;
+
+/// Result of PN-reachability atom queries: for each variable, the set
+/// of annotation classes with which the queried constant occurs
+/// (possibly nested under unmatched constructors) in the variable's
+/// least solution. See Section 6.2.
+class AtomReachability {
+public:
+  /// Annotation classes of the atom at \p V (empty if none). \p V may
+  /// be any variable; cycle-collapsed representatives are resolved.
+  const std::vector<AnnId> &annotations(VarId V) const;
+
+  /// The unmatched-constructor context ("stack") under which the atom
+  /// occurs at \p V with annotation \p Ann: outermost first. Empty for
+  /// top-level occurrences.
+  std::vector<ConsId> witnessStack(VarId V, AnnId Ann) const;
+
+private:
+  friend class BidirectionalSolver;
+  struct Provenance {
+    // Wrap step: the atom at InnerVar with InnerAnn was wrapped by
+    // constructor C. InnerVar == InvalidVar marks an initial fact.
+    ConsId C = 0;
+    VarId InnerVar = InvalidVar;
+    AnnId InnerAnn = InvalidAnn;
+  };
+  const BidirectionalSolver *Solver = nullptr;
+  std::unordered_map<VarId, std::vector<AnnId>> Facts;
+  std::unordered_map<uint64_t, Provenance> Parents; // (var, ann) packed
+};
+
+/// Online bidirectional solver over one constraint system.
+class BidirectionalSolver {
+public:
+  enum class Status {
+    Solved,       ///< closure complete, no inconsistency found
+    Inconsistent, ///< a constructor-mismatch constraint was derived
+    EdgeLimit,    ///< MaxEdges exceeded; closure incomplete
+  };
+
+  explicit BidirectionalSolver(const ConstraintSystem &CS)
+      : BidirectionalSolver(CS, SolverOptions{}) {}
+  BidirectionalSolver(const ConstraintSystem &CS, SolverOptions Opts);
+
+  /// Ingests constraints added to the system since the last call and
+  /// runs the closure to quiescence.
+  Status solve();
+
+  Status status() const { return Stat; }
+  const SolverStats &stats() const { return Stats; }
+
+  /// Constructor-mismatch edges discovered (manifest inconsistencies).
+  const std::vector<SolvedEdge> &conflicts() const { return Conflicts; }
+
+  /// The representative of \p V after cycle elimination (vars merged
+  /// into a cycle share all bounds).
+  VarId rep(VarId V) const;
+
+  /// All constructor-expression lower bounds of \p V in the solved
+  /// form: pairs (cons expr, annotation) with ce ⊆^f V derived.
+  std::vector<std::pair<ExprId, AnnId>> consLowerBounds(VarId V) const;
+
+  /// All constructor-expression upper bounds of \p V: V ⊆^f ce.
+  std::vector<std::pair<ExprId, AnnId>> consUpperBounds(VarId V) const;
+
+  /// All variable-to-variable derived edges out of \p V.
+  std::vector<std::pair<VarId, AnnId>> varSuccessors(VarId V) const;
+
+  /// Annotation classes f with (constant C) ⊆^f V in the solved form.
+  std::vector<AnnId> constantAnnotations(ConsId C, VarId V) const;
+
+  /// Entailment of the paper's simple query (Section 3.2): does every
+  /// solution put the constant C, annotated with a full word of L(M),
+  /// in V? True iff some derived annotation is in F_accept.
+  bool entailsConstant(ConsId C, VarId V) const;
+
+  /// Function-variable constraints recorded by the structural rule.
+  const std::vector<FnVarConstraint> &fnVarConstraints() const {
+    return FnVarCons;
+  }
+
+  /// Least solution of the function-variable constraints under the
+  /// given seeds (pairs alpha, f meaning f ⊆ alpha); Section 3.2
+  /// queries seed f_epsilon on the queried term's variables. The
+  /// result maps each FnVarId to its set of classes.
+  std::vector<std::vector<AnnId>> fnVarLeastSolution(
+      std::span<const std::pair<FnVarId, AnnId>> Seeds) const;
+
+  /// The eager all-identity-seeded function-variable solution (cached;
+  /// maintained online when Options.EagerFunctionVars).
+  const std::vector<std::vector<AnnId>> &fnVarSolution() const;
+
+  /// PN-reachability: annotation classes of the constant \p Atom in
+  /// each variable's least solution, including occurrences nested
+  /// under unmatched constructors (Section 6.2). With
+  /// \p AllowUnmatchedProjections the query also follows projection
+  /// constraints the atom's context never matched — the "N" half of
+  /// PN reachability [15], needed for flow queries that observe a
+  /// value after it escaped the call that created it (Section 7.3).
+  /// N steps precede P steps on any PN path.
+  AtomReachability
+  atomReachability(ConsId Atom,
+                   bool AllowUnmatchedProjections = false) const;
+
+  /// Enumerates ground terms of V's least solution up to \p MaxDepth
+  /// constructor nesting, at most \p MaxCount terms. Constructor
+  /// annotation variables are seeded with the identity.
+  std::vector<GroundTerm> groundTerms(VarId V, unsigned MaxDepth,
+                                      size_t MaxCount = 64) const;
+
+  /// Stack-aware alias query (Section 7.5): do the least solutions of
+  /// A and B share a term skeleton (annotations ignored)?
+  bool solutionsIntersect(VarId A, VarId B, unsigned MaxDepth = 8,
+                          size_t MaxCount = 256) const;
+
+  /// The general query form of Section 3.2: is the set of terms
+  /// denoted by the constructor expression \p E (in the least
+  /// solution) intersected with \p V non-empty, restricted to
+  /// occurrences whose top-level annotation class satisfies
+  /// \p AcceptAnn (pass nullptr for "any")? E.g. searching for an
+  /// error term c(X) in a variable with an accepting annotation.
+  bool exprIntersectsVar(ExprId E, VarId V,
+                         bool (*AcceptAnn)(const AnnotationDomain &,
+                                           AnnId) = nullptr,
+                         unsigned MaxDepth = 8,
+                         size_t MaxCount = 256) const;
+
+  const ConstraintSystem &system() const { return CS; }
+
+  /// Graphviz rendering of the solved constraint graph (variable and
+  /// constructor-expression nodes, edges labelled with annotation
+  /// classes). Intended for debugging small systems.
+  std::string toDot(std::string_view Title = "constraints") const;
+
+private:
+  struct Edge {
+    ExprId Src;
+    ExprId Dst;
+    AnnId Ann;
+    friend bool operator==(const Edge &A, const Edge &B) {
+      return A.Src == B.Src && A.Dst == B.Dst && A.Ann == B.Ann;
+    }
+  };
+  struct EdgeHash {
+    size_t operator()(const Edge &E) const {
+      uint64_t H = hashCombine(E.Src, E.Dst);
+      return static_cast<size_t>(hashCombine(H, E.Ann));
+    }
+  };
+  struct Watcher {
+    ConsId C;
+    uint32_t Index;
+    VarId Target;
+    AnnId Ann;
+  };
+
+  /// Maps an expression to its node id after variable representative
+  /// substitution (cycle elimination), interning rewritten exprs.
+  ExprId canonicalize(ExprId E);
+
+  void ingest(const Constraint &C);
+  void addEdge(ExprId Src, ExprId Dst, AnnId Ann);
+  void process(const Edge &E);
+  void decompose(const Edge &E);
+  void addFnVarConstraint(FnVarId From, AnnId Fn, FnVarId To);
+  void runEagerFnVars();
+  void collapseCycles(size_t FirstNew);
+  bool isVarNode(ExprId E) const {
+    return CS.expr(E).Kind == ExprKind::Var;
+  }
+  void growTo(ExprId E);
+
+  void enumerateTerms(VarId V, unsigned MaxDepth, size_t MaxCount,
+                      std::vector<VarId> &Visiting,
+                      std::vector<GroundTerm> &Out) const;
+
+  const ConstraintSystem &CS;
+  SolverOptions Options;
+  SolverStats Stats;
+  Status Stat = Status::Solved;
+
+  size_t NumIngested = 0;
+
+  // Cycle elimination: variable representatives.
+  mutable UnionFind VarReps;
+
+  // Graph. Indexed by ExprId (grown on demand).
+  std::vector<std::vector<std::pair<ExprId, AnnId>>> Succs;
+  std::vector<std::vector<std::pair<ExprId, AnnId>>> Preds;
+  std::vector<std::vector<Watcher>> Watchers; // on var nodes
+  std::unordered_set<Edge, EdgeHash> EdgeSet;
+  std::deque<Edge> Pending;
+  std::vector<SolvedEdge> Conflicts;
+
+  std::vector<FnVarConstraint> FnVarCons;
+  std::unordered_set<Edge, EdgeHash> FnVarSet; // dedup of FnVarCons
+  mutable std::vector<std::vector<AnnId>> EagerFnVarSol;
+  mutable bool FnVarSolFresh = false;
+
+  // VarId -> ExprId node (or InvalidExpr), for query-side lookups.
+  std::vector<ExprId> VarNode;
+};
+
+} // namespace rasc
+
+#endif // RASC_CORE_SOLVER_H

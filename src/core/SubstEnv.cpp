@@ -1,0 +1,241 @@
+//===- core/SubstEnv.cpp - Parametric annotations ---------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SubstEnv.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace rasc;
+
+SubstEnvDomain::SubstEnvDomain(const AnnotationDomain &Base) : Base(Base) {
+  IdentityEnv = intern(Env{Base.identity(), {}});
+  assert(IdentityEnv == 0 && "identity environment must be id 0");
+}
+
+AnnId SubstEnvDomain::intern(Env E) const {
+  // Canonical order for entries: by key (size, then lexicographic).
+  std::sort(E.Entries.begin(), E.Entries.end(),
+            [](const SubstEntry &A, const SubstEntry &B) {
+              if (A.Key.size() != B.Key.size())
+                return A.Key.size() < B.Key.size();
+              return A.Key < B.Key;
+            });
+
+  uint64_t H = E.Residual;
+  for (const SubstEntry &S : E.Entries) {
+    H = hashCombine(H, S.Value);
+    for (const ParamBinding &P : S.Key)
+      H = hashCombine(H, (static_cast<uint64_t>(P.Param) << 32) | P.Label);
+  }
+
+  auto Range = EnvIds.equal_range(H);
+  for (auto It = Range.first; It != Range.second; ++It) {
+    const Env &Cand = Envs[It->second];
+    if (Cand.Residual == E.Residual && Cand.Entries == E.Entries)
+      return It->second;
+  }
+  AnnId Id = static_cast<AnnId>(Envs.size());
+  Envs.push_back(std::move(E));
+  EnvIds.emplace(H, Id);
+  return Id;
+}
+
+AnnId SubstEnvDomain::lift(AnnId BaseFn) {
+  return intern(Env{BaseFn, {}});
+}
+
+AnnId SubstEnvDomain::instantiate(std::vector<ParamBinding> Key,
+                                  AnnId BaseFn) {
+  assert(!Key.empty() && "use lift() for non-parametric annotations");
+  std::sort(Key.begin(), Key.end());
+  Key.erase(std::unique(Key.begin(), Key.end()), Key.end());
+#ifndef NDEBUG
+  for (size_t I = 1; I < Key.size(); ++I)
+    assert(Key[I - 1].Param != Key[I].Param &&
+           "one parameter bound to two labels in a single key");
+#endif
+  Env E{Base.identity(), {SubstEntry{std::move(Key), BaseFn}}};
+  return intern(std::move(E));
+}
+
+bool SubstEnvDomain::compatible(const std::vector<ParamBinding> &I,
+                                const std::vector<ParamBinding> &J) {
+  // "i is compatible with j" is implemented as J ⊆ I (every binding
+  // of the entry is present in the queried key; keys are sorted).
+  //
+  // The paper's Section 6.4.2 definition only requires the *common*
+  // parameter/label pairs to agree plus |i| >= |j|. That weaker
+  // relation lets an entry absorb effects of entries over disjoint
+  // parameters, which makes composition non-associative (an entry
+  // (y:b) -> f can swallow an (x:a) effect in one association order
+  // but not the other — found by the MonoidLaws property test). With
+  // the subset relation, environments are functions from binding sets
+  // to base elements, the "largest compatible entry" is the unique
+  // maximal materialized subset (domains are merge-closed), and
+  // composition is pointwise — hence associative. Effects over
+  // parameters a query does not bind are visible at the merged keys,
+  // which are exactly the keys composition materializes and queries
+  // use.
+  size_t A = 0;
+  for (const ParamBinding &PJ : J) {
+    while (A < I.size() && I[A].Param < PJ.Param)
+      ++A;
+    if (A >= I.size() || I[A].Param != PJ.Param ||
+        I[A].Label != PJ.Label)
+      return false;
+    ++A;
+  }
+  return true;
+}
+
+AnnId SubstEnvDomain::lookupIn(const Env &E,
+                               const std::vector<ParamBinding> &Key) const {
+  // An exact entry is the semantically right answer; otherwise the
+  // largest compatible entry wins (entries are stored sorted by
+  // (size, key), so scanning from the back finds the largest first).
+  // Environment domains are merge-closed (compose materializes every
+  // compatible union), which keeps this deterministic choice
+  // well-defined for the keys that arise during solving.
+  for (auto It = E.Entries.rbegin(), End = E.Entries.rend(); It != End;
+       ++It) {
+    if (It->Key == Key)
+      return It->Value;
+    if (It->Key.size() < Key.size())
+      break; // no exact match; fall through to compatibility scan
+  }
+  for (auto It = E.Entries.rbegin(), End = E.Entries.rend(); It != End;
+       ++It)
+    if (compatible(Key, It->Key))
+      return It->Value;
+  return E.Residual;
+}
+
+AnnId SubstEnvDomain::lookup(AnnId Id,
+                             const std::vector<ParamBinding> &Key) const {
+  assert(Id < Envs.size() && "environment id out of range");
+  return lookupIn(Envs[Id], Key);
+}
+
+namespace {
+
+/// Merges two sorted binding keys; returns false on conflict (same
+/// parameter, different label).
+bool mergeKeys(const std::vector<ParamBinding> &A,
+               const std::vector<ParamBinding> &B,
+               std::vector<ParamBinding> &Out) {
+  Out.clear();
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I].Param < B[J].Param) {
+      Out.push_back(A[I++]);
+    } else if (B[J].Param < A[I].Param) {
+      Out.push_back(B[J++]);
+    } else {
+      if (A[I].Label != B[J].Label)
+        return false;
+      Out.push_back(A[I++]);
+      ++J;
+    }
+  }
+  Out.insert(Out.end(), A.begin() + I, A.end());
+  Out.insert(Out.end(), B.begin() + J, B.end());
+  return true;
+}
+
+} // namespace
+
+AnnId SubstEnvDomain::compose(AnnId F, AnnId G) const {
+  assert(F < Envs.size() && G < Envs.size() && "id out of range");
+  uint64_t MemoKey = (static_cast<uint64_t>(F) << 32) | G;
+  auto MemoIt = ComposeMemo.find(MemoKey);
+  if (MemoIt != ComposeMemo.end())
+    return MemoIt->second;
+
+  const Env &EF = Envs[F];
+  const Env &EG = Envs[G];
+
+  // Candidate keys: every key of either side, plus every compatible
+  // merge of a key from each side ("compatible entries are merged by
+  // expanding the entries to the union of all the parameter label
+  // pairs").
+  std::vector<std::vector<ParamBinding>> Keys;
+  auto addKey = [&](std::vector<ParamBinding> K) {
+    for (const auto &Existing : Keys)
+      if (Existing == K)
+        return;
+    Keys.push_back(std::move(K));
+  };
+  for (const SubstEntry &S : EF.Entries)
+    addKey(S.Key);
+  for (const SubstEntry &S : EG.Entries)
+    addKey(S.Key);
+  std::vector<ParamBinding> Merged;
+  for (const SubstEntry &SF : EF.Entries)
+    for (const SubstEntry &SG : EG.Entries)
+      if (mergeKeys(SF.Key, SG.Key, Merged))
+        addKey(Merged);
+
+  Env R;
+  R.Residual = Base.compose(EF.Residual, EG.Residual);
+  for (std::vector<ParamBinding> &K : Keys) {
+    AnnId V = Base.compose(lookupIn(EF, K), lookupIn(EG, K));
+    R.Entries.push_back(SubstEntry{std::move(K), V});
+  }
+
+  // No value-based normalization: dropping an entry that the rest of
+  // the environment "already implies" at its own key can still change
+  // lookups of *other* keys that had it as their largest compatible
+  // entry, which breaks associativity. Interning dedups structurally
+  // equal environments; the entry count is bounded by the finitely
+  // many merge-closed binding sets occurring in the program.
+  AnnId Id = intern(std::move(R));
+  ComposeMemo.emplace(MemoKey, Id);
+  return Id;
+}
+
+bool SubstEnvDomain::isUseless(AnnId F) const {
+  const Env &E = Envs[F];
+  if (!Base.isUseless(E.Residual))
+    return false;
+  for (const SubstEntry &S : E.Entries)
+    if (!Base.isUseless(S.Value))
+      return false;
+  return true;
+}
+
+bool SubstEnvDomain::isAccepting(AnnId F) const {
+  const Env &E = Envs[F];
+  if (Base.isAccepting(E.Residual))
+    return true;
+  for (const SubstEntry &S : E.Entries)
+    if (Base.isAccepting(S.Value))
+      return true;
+  return false;
+}
+
+std::string SubstEnvDomain::toString(AnnId F) const {
+  const Env &E = Envs[F];
+  if (E.Entries.empty())
+    return Base.toString(E.Residual);
+  std::ostringstream OS;
+  OS << "[";
+  bool FirstEntry = true;
+  for (const SubstEntry &S : E.Entries) {
+    if (!FirstEntry)
+      OS << "; ";
+    FirstEntry = false;
+    OS << "(";
+    for (size_t I = 0; I != S.Key.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Names.str(S.Key[I].Param) << ":" << Names.str(S.Key[I].Label);
+    }
+    OS << ") -> " << Base.toString(S.Value);
+  }
+  OS << " | " << Base.toString(E.Residual) << "]";
+  return OS.str();
+}

@@ -1,0 +1,130 @@
+//===- flow/Analysis.h - Type-based flow analysis ---------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two label-flow analyses of paper Section 7, both context
+/// sensitive and field sensitive, built on regularly annotated set
+/// constraints:
+///
+///   * Primal (Sections 7.2-7.4): function call/return matching is
+///     modelled *precisely* with terms (o_i constructors and
+///     projections, polymorphic recursion via [15]); type
+///     constructor/destructor matching is reduced to a *regular*
+///     language of bracket annotations [i_tau / ]i_tau whose automaton
+///     (Figure 10) is generated from the program's types, bounded by
+///     the largest type.
+///
+///   * Dual (Section 7.6): the roles swap. Pairs are modelled
+///     precisely with a binary "pair" constructor and projections;
+///     call/return paths become bracket annotations [i / ]i per call
+///     site, with call sites inside call-graph cycles approximated by
+///     the empty annotation (monomorphic recursion).
+///
+/// Both analyses answer flow queries between expression labels. On
+/// recursion-free programs they compute the same matched-flow relation
+/// (differentially tested); with recursion each is precise on its own
+/// context-free dimension.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_FLOW_ANALYSIS_H
+#define RASC_FLOW_ANALYSIS_H
+
+#include "core/Domains.h"
+#include "core/Solver.h"
+#include "flow/Lang.h"
+
+#include <map>
+#include <memory>
+
+namespace rasc {
+
+/// Which analysis formulation to run.
+enum class FlowMode {
+  Primal, ///< terms for calls, annotations for pairs (Section 7.2)
+  Dual,   ///< pair constructors, annotations for calls (Section 7.6)
+};
+
+/// Builds the Figure 10 pair-matching automaton for a set of pair
+/// types: states are descent chains into the program's types, symbols
+/// are "[i_tau" / "]i_tau" per (component index, component type),
+/// acceptance at the empty chain (a fully cancelled bracket string).
+/// Exposed for tests and benches.
+Dfa buildPairAutomaton(const FlowProgram &P);
+
+/// Builds the call-string automaton for the dual analysis: symbols
+/// "[i" / "]i" per non-recursive call site, states are acyclic call
+/// chains; call sites within call-graph SCCs are excluded (they get
+/// the empty annotation).
+Dfa buildCallAutomaton(const FlowProgram &P,
+                       std::vector<bool> *RecursiveSite = nullptr);
+
+/// One run of either analysis over a program.
+class FlowAnalysis {
+public:
+  FlowAnalysis(const FlowProgram &P, FlowMode Mode);
+
+  /// Matched flow (Section 7.3): does the value of expression \p From
+  /// flow to the *top level* of expression \p To along a path whose
+  /// call/returns and constructor/destructor uses all cancel?
+  bool flows(FExprId From, FExprId To);
+
+  /// PN flow: also counts values that sit under unreturned calls
+  /// (primal) — e.g. a caller's argument observed inside the callee.
+  /// Only meaningful for the primal analysis.
+  bool flowsPN(FExprId From, FExprId To);
+
+  /// The label variable of an expression's top-level type.
+  VarId labelOf(FExprId E) const { return ExprLabel.at(E); }
+
+  /// The top-level label of a function's parameter / result.
+  VarId paramLabel(FFuncId F) const { return ParamLabels[F]; }
+  VarId resultLabel(FFuncId F) const { return RetLabels[F]; }
+
+  /// Stack-aware alias query (Section 7.5): do the least solutions of
+  /// the two labels share a term? Only meaningful for analyses whose
+  /// solutions are term sets (the dual analysis and primal call
+  /// terms).
+  bool mayAlias(VarId A, VarId B);
+
+  const ConstraintSystem &system() const { return *CS; }
+  const BidirectionalSolver &solver();
+  const MonoidDomain &domain() const { return *Dom; }
+
+private:
+  /// A labeled type: one fresh set variable per position.
+  struct LType {
+    TypeId Ty;
+    VarId L;
+    std::vector<LType> Kids;
+  };
+
+  LType spread(TypeId T);
+  LType inferPrimal(const FFunc &F, const LType &ParamLT, FExprId E);
+  LType inferDual(const FFunc &F, const LType &ParamLT, FExprId E);
+  AnnId bracketAnn(bool Open, uint32_t Index, TypeId CompTy);
+  AnnId callAnn(bool Open, uint32_t CallSite);
+  ConsId sourceConstant(FExprId From);
+  void ensureSolved();
+
+  const FlowProgram &P;
+  FlowMode Mode;
+  std::unique_ptr<MonoidDomain> Dom;
+  std::unique_ptr<ConstraintSystem> CS;
+  std::unique_ptr<BidirectionalSolver> Solver;
+  bool Solved = false;
+
+  std::vector<bool> RecursiveSite; // dual: call sites with eps annotation
+  std::vector<VarId> ParamLabels, RetLabels;
+  std::map<FExprId, VarId> ExprLabel;
+  std::map<FExprId, ConsId> SourceCons;
+  std::vector<ConsId> CallCons; // primal: o_i per call site
+  ConsId PairCons = 0;          // dual
+};
+
+} // namespace rasc
+
+#endif // RASC_FLOW_ANALYSIS_H

@@ -1,0 +1,100 @@
+//===- frontend/ConstraintParser.h - Textual constraint files ---*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual frontend for whole constraint problems, in the spirit of
+/// BANSHEE's "specify an analysis, get a solver" workflow (paper
+/// Section 8): one file declares the annotation language (either as a
+/// Section 8 automaton specification or as a regex), the constructors
+/// and variables, the annotated constraints, and the queries to run.
+///
+///   # the annotation language
+///   language {
+///     start state Unpriv : | acquire -> Priv;
+///     accept state Priv  : | acquire -> Priv;
+///   }
+///   # or: language regex "(g k)* g";
+///
+///   constant pc;
+///   constructor o 1;            # name arity
+///   var X Y Z;
+///
+///   pc <= X;                    # epsilon annotation
+///   X <= [acquire] Y;           # single-symbol annotation
+///   o(Y) <= Z;                  # constructor expression
+///   proj o 1 Z <= X;            # o^-1(Z) ⊆ X   (1-based index)
+///
+///   query pc in Y;              # matched entailment (Section 3.2)
+///   query pn pc in Z;           # PN reachability (Section 6.2)
+///
+/// parse() builds the domain and constraint system; solveAndAnswer()
+/// runs the bidirectional solver and evaluates the queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_FRONTEND_CONSTRAINTPARSER_H
+#define RASC_FRONTEND_CONSTRAINTPARSER_H
+
+#include "core/Domains.h"
+#include "core/Solver.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rasc {
+
+/// A parsed constraint problem: the annotation domain, the system,
+/// the declared names, and the queries.
+class ConstraintProgram {
+public:
+  struct Query {
+    enum KindTy { Matched, Pn } Kind;
+    ConsId Constant;
+    VarId Var;
+    std::string Text; ///< the original line, for reporting
+  };
+
+  struct Answer {
+    const Query *Q;
+    bool Holds;
+  };
+
+  /// Parses \p Source; returns std::nullopt and sets \p Error (with a
+  /// line number) on failure.
+  static std::optional<ConstraintProgram>
+  parse(std::string_view Source, std::string *Error = nullptr);
+
+  const ConstraintSystem &system() const { return *CS; }
+  const MonoidDomain &domain() const { return *Dom; }
+  const std::vector<Query> &queries() const { return Queries; }
+
+  std::optional<VarId> varByName(std::string_view Name) const;
+  std::optional<ConsId> consByName(std::string_view Name) const;
+
+  /// Solves (bidirectional) and evaluates every query.
+  /// \returns the answers in declaration order, plus the solver via
+  /// out-parameter for callers that want more (may be null).
+  std::vector<Answer> solveAndAnswer(SolverOptions Options = {},
+                                     SolverStats *StatsOut = nullptr);
+
+private:
+  ConstraintProgram() = default;
+
+  std::unique_ptr<MonoidDomain> Dom;
+  std::unique_ptr<ConstraintSystem> CS;
+  std::vector<std::pair<std::string, VarId>> Vars;
+  std::vector<std::pair<std::string, ConsId>> Constructors;
+  std::vector<Query> Queries;
+
+  friend class ConstraintFileParser;
+};
+
+} // namespace rasc
+
+#endif // RASC_FRONTEND_CONSTRAINTPARSER_H

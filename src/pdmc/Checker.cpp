@@ -1,0 +1,406 @@
+//===- pdmc/Checker.cpp - Temporal safety checking --------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdmc/Checker.h"
+
+#include "pds/Unidirectional.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace rasc;
+
+namespace {
+
+double secondsSince(
+    std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RascChecker
+//===----------------------------------------------------------------------===//
+
+RascChecker::RascChecker(const Program &Prog, const SpecAutomaton &Spec,
+                         SolveStrategy Strategy)
+    : Prog(Prog), Spec(Spec), Strategy(Strategy) {
+  Parametric = false;
+  for (SymbolId S = 0, E = Spec.machine().numSymbols(); S != E; ++S)
+    Parametric |= Spec.isParametric(S);
+  assert((!Parametric || Strategy == SolveStrategy::Bidirectional) &&
+         "parametric annotations require the bidirectional solver");
+  Base = std::make_unique<MonoidDomain>(Spec.machine());
+  if (Parametric) {
+    EnvDom = std::make_unique<SubstEnvDomain>(*Base);
+    CS = std::make_unique<ConstraintSystem>(*EnvDom);
+  } else {
+    CS = std::make_unique<ConstraintSystem>(*Base);
+  }
+}
+
+bool RascChecker::isRelevant(const Stmt &St) const {
+  return St.Kind == Stmt::Op &&
+         Spec.machine().symbol(St.OpSymbol).has_value();
+}
+
+std::vector<Violation> RascChecker::check() {
+  auto Start = std::chrono::steady_clock::now();
+  const Dfa &M = Spec.machine();
+
+  // Constraint generation (Section 6.1).
+  StmtVars.assign(Prog.numStatements(), 0);
+  for (StmtId S = 0; S != Prog.numStatements(); ++S)
+    StmtVars[S] = CS->freshVar("S" + std::to_string(S));
+
+  Pc = CS->addConstant("pc");
+  CS->add(CS->cons(Pc), CS->var(StmtVars[Prog.entry(Prog.mainFunction())]));
+
+  // The edge annotation of an operation statement.
+  auto opAnn = [&](const Stmt &St) -> AnnId {
+    SymbolId Sym = *M.symbol(St.OpSymbol);
+    AnnId BaseAnn = Base->symbolAnn(Sym);
+    if (!Parametric)
+      return BaseAnn;
+    const SpecSymbol &Decl = Spec.symbols()[Sym];
+    if (Decl.Params.empty())
+      return EnvDom->lift(BaseAnn);
+    assert(Decl.Params.size() == St.OpLabels.size() &&
+           "operation label count must match the symbol declaration");
+    std::vector<ParamBinding> Key;
+    for (size_t I = 0; I != Decl.Params.size(); ++I)
+      Key.push_back(
+          {EnvDom->name(Decl.Params[I]), EnvDom->name(St.OpLabels[I])});
+    return EnvDom->instantiate(std::move(Key), BaseAnn);
+  };
+
+  std::map<ConsId, StmtId> ConsToCall;
+  for (StmtId S = 0; S != Prog.numStatements(); ++S) {
+    const Stmt &St = Prog.stmt(S);
+    if (St.Kind == Stmt::Call) {
+      // o_i(S) ⊆ F_entry and o_i^-1(F_exit) ⊆ S_i.
+      ConsId O = CS->addConstructor("o@" + std::to_string(S), 1);
+      ConsToCall[O] = S;
+      CallCons.emplace_back(S, O);
+      CS->add(CS->cons(O, {StmtVars[S]}),
+              CS->var(StmtVars[Prog.entry(St.Callee)]));
+      for (StmtId Succ : St.Succs)
+        CS->add(CS->proj(O, 0, StmtVars[Prog.exit(St.Callee)]),
+                CS->var(StmtVars[Succ]));
+      continue;
+    }
+    AnnId Ann = isRelevant(St) ? opAnn(St) : CS->domain().identity();
+    for (StmtId Succ : St.Succs)
+      CS->add(CS->var(StmtVars[S]), CS->var(StmtVars[Succ]), Ann);
+  }
+
+  Stats.Constraints = CS->constraints().size();
+
+  if (Strategy == SolveStrategy::Forward) {
+    std::vector<Violation> Out = checkForward();
+    Stats.Seconds = secondsSince(Start);
+    return Out;
+  }
+
+  BidirectionalSolver Solver(*CS, SolverOpts);
+  EdgeLimit =
+      Solver.solve() == BidirectionalSolver::Status::EdgeLimit;
+  Stats.Derived = Solver.stats().EdgesInserted;
+
+  AtomReachability AR = Solver.atomReachability(Pc);
+
+  // A violation at an operation statement s: pc reaches s with a word
+  // w such that delta(w . op, s0) is accepting.
+  std::set<Violation> Found;
+  StateId Start0 = M.start();
+  for (StmtId S = 0; S != Prog.numStatements(); ++S) {
+    const Stmt &St = Prog.stmt(S);
+    if (!isRelevant(St))
+      continue;
+    AnnId StepAnn = opAnn(St);
+    for (AnnId F : AR.annotations(StmtVars[S])) {
+      std::vector<ConsId> Spine = AR.witnessStack(StmtVars[S], F);
+      std::vector<StmtId> CallStack;
+      for (ConsId C : Spine) {
+        auto It = ConsToCall.find(C);
+        if (It != ConsToCall.end())
+          CallStack.push_back(It->second);
+      }
+      auto report = [&](std::string Inst) {
+        Violation V;
+        V.Where = S;
+        V.Instantiation = std::move(Inst);
+        V.CallStack = CallStack;
+        Found.insert(std::move(V));
+      };
+
+      // Report transitions *into* an accepting state only: an op that
+      // runs after the property has already failed is not a separate
+      // violation (the MOPS baseline attributes violations the same
+      // way).
+      if (!Parametric) {
+        AnnId Total = Base->compose(StepAnn, F);
+        if (M.isAccepting(Base->apply(Total, Start0)) &&
+            !M.isAccepting(Base->apply(F, Start0))) {
+          Violation V;
+          V.Where = S;
+          V.CallStack = CallStack;
+          // The event trace: a sample word of the reaching class,
+          // then this statement's own operation.
+          for (SymbolId Sym : Base->monoid().sampleWord(F))
+            V.EventTrace.push_back(M.symbolName(Sym));
+          V.EventTrace.push_back(St.OpSymbol);
+          Found.insert(std::move(V));
+        }
+        continue;
+      }
+      AnnId Total = EnvDom->compose(StepAnn, F);
+      if (M.isAccepting(Base->apply(EnvDom->residual(Total), Start0)) &&
+          !M.isAccepting(Base->apply(EnvDom->residual(F), Start0)))
+        report("");
+      for (const SubstEntry &E : EnvDom->entries(Total)) {
+        if (!M.isAccepting(Base->apply(E.Value, Start0)))
+          continue;
+        if (M.isAccepting(Base->apply(EnvDom->lookup(F, E.Key), Start0)))
+          continue; // already failed before this op
+        std::string Inst;
+        for (size_t I = 0; I != E.Key.size(); ++I) {
+          if (I)
+            Inst += ",";
+          Inst += EnvDom->nameStr(E.Key[I].Param) + ":" +
+                  EnvDom->nameStr(E.Key[I].Label);
+        }
+        report(std::move(Inst));
+      }
+    }
+  }
+
+  Stats.Seconds = secondsSince(Start);
+  return std::vector<Violation>(Found.begin(), Found.end());
+}
+
+std::vector<Violation> RascChecker::checkForward() {
+  // Section 5: forward solving tracks facts (pc, variable, state of
+  // the right congruence) with the unmatched calls as a pushdown
+  // stack; one post* answers every query. Witness call stacks are not
+  // reconstructed in this mode.
+  const Dfa &M = Spec.machine();
+  UnidirectionalSolver U(*CS, *Base);
+  std::set<Violation> Found;
+  for (StmtId S = 0; S != Prog.numStatements(); ++S) {
+    const Stmt &St = Prog.stmt(S);
+    if (!isRelevant(St))
+      continue;
+    SymbolId Sym = *M.symbol(St.OpSymbol);
+    for (StateId Q : U.pnStates(Pc, StmtVars[S]))
+      if (!M.isAccepting(Q) && M.isAccepting(M.next(Q, Sym))) {
+        Violation V;
+        V.Where = S;
+        Found.insert(std::move(V));
+        break;
+      }
+  }
+  Stats.Derived = U.stats().PostStarTransitions;
+  return std::vector<Violation>(Found.begin(), Found.end());
+}
+
+//===----------------------------------------------------------------------===//
+// MopsChecker
+//===----------------------------------------------------------------------===//
+
+MopsChecker::MopsChecker(const Program &Prog, const SpecAutomaton &Spec)
+    : Prog(Prog), Spec(Spec) {}
+
+std::vector<Violation> MopsChecker::check() {
+  auto Start = std::chrono::steady_clock::now();
+
+  // Collect the label tuples of parametric operations; MOPS checks
+  // each instantiation separately.
+  std::set<std::vector<std::string>> Instances;
+  bool AnyParametric = false;
+  for (StmtId S = 0; S != Prog.numStatements(); ++S) {
+    const Stmt &St = Prog.stmt(S);
+    if (St.Kind != Stmt::Op)
+      continue;
+    auto Sym = Spec.machine().symbol(St.OpSymbol);
+    if (!Sym || !Spec.isParametric(*Sym))
+      continue;
+    AnyParametric = true;
+    Instances.insert(St.OpLabels);
+  }
+
+  std::vector<Violation> Out;
+  if (!AnyParametric) {
+    checkInstance({}, Out);
+  } else {
+    for (const std::vector<std::string> &L : Instances)
+      checkInstance(L, Out);
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  Stats.Seconds = secondsSince(Start);
+  return Out;
+}
+
+void MopsChecker::checkInstance(const std::vector<std::string> &Labels,
+                                std::vector<Violation> &Out) {
+  const Dfa &M = Spec.machine();
+
+  // Is this statement a property transition in this instance?
+  auto relevantSym = [&](const Stmt &St) -> std::optional<SymbolId> {
+    if (St.Kind != Stmt::Op)
+      return std::nullopt;
+    auto Sym = M.symbol(St.OpSymbol);
+    if (!Sym)
+      return std::nullopt;
+    if (Spec.isParametric(*Sym) && St.OpLabels != Labels)
+      return std::nullopt;
+    return Sym;
+  };
+
+  Pds P;
+  for (StateId Q = 0; Q != M.numStates(); ++Q) {
+    PdsState C = P.addControlState();
+    assert(C == Q && "controls mirror property states");
+    (void)C;
+  }
+  // One stack symbol per statement.
+  std::vector<StackSym> StmtSym(Prog.numStatements());
+  for (StmtId S = 0; S != Prog.numStatements(); ++S)
+    StmtSym[S] = P.addStackSymbol();
+
+  std::map<StackSym, StmtId> ReturnSiteToCall;
+  for (StmtId S = 0; S != Prog.numStatements(); ++S) {
+    const Stmt &St = Prog.stmt(S);
+    bool IsExit = S == Prog.exit(St.Parent);
+    if (IsExit) {
+      for (StateId Q = 0; Q != M.numStates(); ++Q)
+        P.addRule(Q, StmtSym[S], Q, {});
+      continue;
+    }
+    if (St.Kind == Stmt::Call) {
+      for (StmtId Succ : St.Succs) {
+        ReturnSiteToCall.emplace(StmtSym[Succ], S);
+        for (StateId Q = 0; Q != M.numStates(); ++Q)
+          P.addRule(Q, StmtSym[S], Q,
+                    {StmtSym[Prog.entry(St.Callee)], StmtSym[Succ]});
+      }
+      continue;
+    }
+    std::optional<SymbolId> Sym = relevantSym(St);
+    for (StmtId Succ : St.Succs)
+      for (StateId Q = 0; Q != M.numStates(); ++Q)
+        P.addRule(Q, StmtSym[S], Sym ? M.next(Q, *Sym) : Q,
+                  {StmtSym[Succ]});
+  }
+  Stats.Constraints += P.rules().size();
+
+  ConfigAutomaton Init(P.numControls());
+  uint32_t Qf = Init.addState();
+  Init.setAccepting(Qf);
+  Init.addTransition(M.start(), StmtSym[Prog.entry(Prog.mainFunction())],
+                     Qf);
+  ConfigAutomaton A = postStar(P, Init);
+  Stats.Derived += A.numTransitions();
+
+  // Top-of-stack pairs (q, stmt) reachable: from control q, after
+  // epsilon moves, a transition on StmtSym[stmt].
+  std::vector<std::vector<uint32_t>> EpsAdj(A.numStates());
+  for (uint32_t S = 0; S != A.numStates(); ++S)
+    for (auto [Sym, T] : A.transitionsFrom(S))
+      if (Sym == EpsilonSym)
+        EpsAdj[S].push_back(T);
+
+  for (StmtId S = 0; S != Prog.numStatements(); ++S) {
+    const Stmt &St = Prog.stmt(S);
+    std::optional<SymbolId> Sym = relevantSym(St);
+    if (!Sym)
+      continue;
+    for (StateId Q = 0; Q != M.numStates(); ++Q) {
+      if (M.isAccepting(Q) || !M.isAccepting(M.next(Q, *Sym)))
+        continue;
+      // Is ⟨Q, S ...⟩ reachable? BFS the epsilon closure of Q, then
+      // one step on StmtSym[S]; the rest of the stack is whatever the
+      // automaton still accepts (witness below).
+      std::vector<uint32_t> Closure{Q};
+      std::vector<bool> Seen(A.numStates(), false);
+      Seen[Q] = true;
+      uint32_t After = ~0u;
+      for (size_t I = 0; I != Closure.size() && After == ~0u; ++I) {
+        for (auto [Sm, T] : A.transitionsFrom(Closure[I])) {
+          if (Sm == StmtSym[S]) {
+            After = T;
+            break;
+          }
+          if (Sm == EpsilonSym && !Seen[T]) {
+            Seen[T] = true;
+            Closure.push_back(T);
+          }
+        }
+      }
+      if (After == ~0u)
+        continue;
+
+      // Witness / co-reachability: ⟨Q, S w⟩ is only a real
+      // configuration if some accepting state is reachable from After.
+      std::vector<std::optional<std::pair<uint32_t, StackSym>>> Par(
+          A.numStates());
+      std::vector<bool> Seen2(A.numStates(), false);
+      std::deque<uint32_t> Work{After};
+      Seen2[After] = true;
+      uint32_t Found = A.isAccepting(After) ? After : ~0u;
+      while (!Work.empty() && Found == ~0u) {
+        uint32_t Cur = Work.front();
+        Work.pop_front();
+        for (auto [Sm, T] : A.transitionsFrom(Cur)) {
+          if (Seen2[T])
+            continue;
+          Seen2[T] = true;
+          Par[T] = std::make_pair(Cur, Sm);
+          if (A.isAccepting(T)) {
+            Found = T;
+            break;
+          }
+          Work.push_back(T);
+        }
+      }
+      if (Found == ~0u)
+        continue;
+
+      Violation V;
+      V.Where = S;
+      if (!Labels.empty()) {
+        const SpecSymbol &Decl = Spec.symbols()[*Sym];
+        for (size_t I = 0;
+             I != Decl.Params.size() && I != Labels.size(); ++I) {
+          if (I)
+            V.Instantiation += ",";
+          V.Instantiation += Decl.Params[I] + ":" + Labels[I];
+        }
+      }
+      // The accepted stack word below the top is the list of pending
+      // return sites; translate them to call statements.
+      std::vector<StmtId> Stack;
+      for (uint32_t Cur = Found; Cur != After;) {
+        auto [Prev, Sm] = *Par[Cur];
+        auto It = ReturnSiteToCall.find(Sm);
+        if (Sm != EpsilonSym && It != ReturnSiteToCall.end())
+          Stack.push_back(It->second);
+        Cur = Prev;
+      }
+      std::reverse(Stack.begin(), Stack.end());
+      V.CallStack = std::move(Stack);
+      Out.push_back(std::move(V));
+      break; // next statement
+    }
+  }
+}

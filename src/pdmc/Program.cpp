@@ -1,0 +1,93 @@
+//===- pdmc/Program.cpp - CFG program representation ------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdmc/Program.h"
+
+#include <sstream>
+
+using namespace rasc;
+
+FuncId Program::addFunction(std::string Name) {
+  FuncId F = static_cast<FuncId>(Funcs.size());
+  Funcs.push_back({std::move(Name), 0, 0});
+  Stmt Entry;
+  Entry.Note = "entry";
+  Funcs[F].Entry = addStmt(F, std::move(Entry));
+  Stmt Exit;
+  Exit.Note = "exit";
+  Funcs[F].Exit = addStmt(F, std::move(Exit));
+  return F;
+}
+
+StmtId Program::addStmt(FuncId F, Stmt St) {
+  assert(F < Funcs.size() && "function out of range");
+  St.Parent = F;
+  Stmts.push_back(std::move(St));
+  return static_cast<StmtId>(Stmts.size() - 1);
+}
+
+StmtId Program::addNop(FuncId F, std::string Note) {
+  Stmt St;
+  St.Note = std::move(Note);
+  return addStmt(F, std::move(St));
+}
+
+StmtId Program::addOp(FuncId F, std::string Symbol,
+                      std::vector<std::string> Labels, std::string Note) {
+  Stmt St;
+  St.Kind = Stmt::Op;
+  St.OpSymbol = std::move(Symbol);
+  St.OpLabels = std::move(Labels);
+  St.Note = std::move(Note);
+  return addStmt(F, std::move(St));
+}
+
+StmtId Program::addCall(FuncId F, FuncId Callee, std::string Note) {
+  assert(Callee < Funcs.size() && "callee out of range");
+  Stmt St;
+  St.Kind = Stmt::Call;
+  St.Callee = Callee;
+  St.Note = std::move(Note);
+  return addStmt(F, std::move(St));
+}
+
+void Program::finalize() {
+  for (StmtId S = 0; S != Stmts.size(); ++S) {
+    if (!Stmts[S].Succs.empty())
+      continue;
+    FuncId F = Stmts[S].Parent;
+    if (S == Funcs[F].Exit)
+      continue;
+    Stmts[S].Succs.push_back(Funcs[F].Exit);
+  }
+}
+
+std::string Program::describe(StmtId S) const {
+  const Stmt &St = stmt(S);
+  std::ostringstream OS;
+  OS << funcName(St.Parent) << ":" << S << " ";
+  switch (St.Kind) {
+  case Stmt::Nop:
+    OS << (St.Note.empty() ? "nop" : St.Note);
+    break;
+  case Stmt::Op:
+    OS << St.OpSymbol;
+    if (!St.OpLabels.empty()) {
+      OS << "(";
+      for (size_t I = 0; I != St.OpLabels.size(); ++I) {
+        if (I)
+          OS << ", ";
+        OS << St.OpLabels[I];
+      }
+      OS << ")";
+    }
+    break;
+  case Stmt::Call:
+    OS << "call " << funcName(St.Callee);
+    break;
+  }
+  return OS.str();
+}

@@ -1,0 +1,117 @@
+//===- pdmc/Program.h - CFG program representation --------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program representation consumed by the pushdown model checker
+/// of paper Section 6 (and by the interprocedural dataflow analyses of
+/// Section 3.3): a set of functions, each with a control flow graph of
+/// statements. A statement is either irrelevant (Nop), an *operation*
+/// (a symbol of the property's alphabet, possibly with parameter
+/// labels such as open(fd1)), or a call to another function.
+///
+/// Every function has a dedicated entry and exit statement (Nops);
+/// statements with no explicit successor fall through to the
+/// function's exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_PDMC_PROGRAM_H
+#define RASC_PDMC_PROGRAM_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rasc {
+
+using FuncId = uint32_t;
+using StmtId = uint32_t;
+
+constexpr FuncId InvalidFunc = ~FuncId(0);
+
+/// One CFG statement.
+struct Stmt {
+  enum KindTy : uint8_t {
+    Nop,  ///< Irrelevant to the property.
+    Op,   ///< Security-relevant operation (property alphabet symbol).
+    Call, ///< Call to another function; each call site is unique.
+  };
+
+  KindTy Kind = Nop;
+  std::string OpSymbol;              ///< Op: the property symbol.
+  std::vector<std::string> OpLabels; ///< Op: parameter labels, if any.
+  FuncId Callee = InvalidFunc;       ///< Call.
+  FuncId Parent = InvalidFunc;
+  std::vector<StmtId> Succs;
+  std::string Note; ///< Free-form source location for diagnostics.
+};
+
+/// A whole program: functions, statements, edges.
+class Program {
+public:
+  /// Creates a function with fresh entry/exit Nop statements. The
+  /// first function created is main.
+  FuncId addFunction(std::string Name);
+
+  StmtId entry(FuncId F) const { return Funcs[F].Entry; }
+  StmtId exit(FuncId F) const { return Funcs[F].Exit; }
+  const std::string &funcName(FuncId F) const { return Funcs[F].Name; }
+
+  /// Adds a Nop statement to \p F.
+  StmtId addNop(FuncId F, std::string Note = "");
+
+  /// Adds an operation statement (a property-alphabet symbol with
+  /// optional parameter labels).
+  StmtId addOp(FuncId F, std::string Symbol,
+               std::vector<std::string> Labels = {}, std::string Note = "");
+
+  /// Adds a call statement.
+  StmtId addCall(FuncId F, FuncId Callee, std::string Note = "");
+
+  /// Adds a CFG edge.
+  void addEdge(StmtId From, StmtId To) {
+    assert(From < Stmts.size() && To < Stmts.size() && "bad statement");
+    assert(Stmts[From].Parent == Stmts[To].Parent &&
+           "CFG edges are intraprocedural");
+    Stmts[From].Succs.push_back(To);
+  }
+
+  /// Routes every statement without a successor (except exits) to its
+  /// function's exit. Call once after construction.
+  void finalize();
+
+  FuncId mainFunction() const { return 0; }
+  uint32_t numFunctions() const {
+    return static_cast<uint32_t>(Funcs.size());
+  }
+  uint32_t numStatements() const {
+    return static_cast<uint32_t>(Stmts.size());
+  }
+  const Stmt &stmt(StmtId S) const {
+    assert(S < Stmts.size() && "statement out of range");
+    return Stmts[S];
+  }
+
+  /// A short human-readable description of a statement.
+  std::string describe(StmtId S) const;
+
+private:
+  struct Func {
+    std::string Name;
+    StmtId Entry;
+    StmtId Exit;
+  };
+
+  StmtId addStmt(FuncId F, Stmt St);
+
+  std::vector<Func> Funcs;
+  std::vector<Stmt> Stmts;
+};
+
+} // namespace rasc
+
+#endif // RASC_PDMC_PROGRAM_H

@@ -1,0 +1,176 @@
+//===- pdmc/Properties.cpp - Security properties from the paper -*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pdmc/Properties.h"
+
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+using namespace rasc;
+
+std::string rasc::simplePrivilegeSpecText() {
+  return R"(# Figure 3: Unix process privilege (simple model).
+# Self-loops follow Figure 4's representative functions: irrelevant
+# operations keep the state, Error absorbs.
+start state Unpriv :
+  | seteuid_zero -> Priv
+  | seteuid_nonzero -> Unpriv
+  | execl -> Unpriv;
+
+state Priv :
+  | seteuid_zero -> Priv
+  | seteuid_nonzero -> Unpriv
+  | execl -> Error;
+
+accept state Error :
+  | seteuid_zero -> Error
+  | seteuid_nonzero -> Error
+  | execl -> Error;
+)";
+}
+
+namespace {
+
+/// Abstract (effective, real, saved) uid triple; false = root.
+struct Uids {
+  bool E, R, S;
+};
+
+/// One abstract transition of the full privilege model.
+Uids stepUids(Uids U, const std::string &Sym) {
+  bool Privileged = !U.E;
+  if (Sym == "setuid_zero") {
+    if (Privileged)
+      return {false, false, false};
+    if (!U.R || !U.S)
+      return {false, U.R, U.S};
+    return U;
+  }
+  if (Sym == "setuid_user") {
+    if (Privileged)
+      return {true, true, true}; // permanent drop
+    return {true, U.R, U.S};
+  }
+  if (Sym == "seteuid_zero") {
+    if (!U.R || !U.S || Privileged)
+      return {false, U.R, U.S};
+    return U;
+  }
+  if (Sym == "seteuid_user")
+    return {true, U.R, U.S}; // temporary drop, saved uid kept
+  if (Sym == "setreuid_user") {
+    if (Privileged)
+      return {true, true, U.S};
+    return {true, true, U.S && U.R};
+  }
+  if (Sym == "setresuid_user")
+    return {true, true, true};
+  if (Sym == "drop_priv")
+    return {true, true, true};
+  if (Sym == "fork")
+    return U;
+  assert(false && "not a uid-changing symbol");
+  return U;
+}
+
+std::string uidStateName(Uids U) {
+  std::string N = "S";
+  N += U.E ? '1' : '0';
+  N += U.R ? '1' : '0';
+  N += U.S ? '1' : '0';
+  return N;
+}
+
+} // namespace
+
+std::string rasc::fullPrivilegeSpecText() {
+  // Generated from the abstract uid semantics so the transition table
+  // stays consistent; 11 states (Init, 8 uid triples, ExecSafe,
+  // Error), 9 symbols.
+  const char *UidSyms[] = {"setuid_zero",   "setuid_user",
+                           "seteuid_zero",  "seteuid_user",
+                           "setreuid_user", "setresuid_user",
+                           "drop_priv",     "fork"};
+  std::ostringstream OS;
+  OS << "# Full process-privilege model (reconstruction of MOPS "
+        "Property 1):\n"
+     << "# a process must not exec while its effective uid is root.\n"
+     << "# States track the abstract (effective, real, saved) uid "
+        "triple.\n";
+
+  auto emitState = [&](const std::string &Name, bool Start, bool Accept,
+                       Uids U, bool IsTerminal) {
+    if (Start)
+      OS << "start ";
+    if (Accept)
+      OS << "accept ";
+    OS << "state " << Name << " :\n";
+    for (const char *Sym : UidSyms) {
+      std::string Target =
+          IsTerminal ? Name : uidStateName(stepUids(U, Sym));
+      OS << "  | " << Sym << " -> " << Target << "\n";
+    }
+    OS << "  | execl -> "
+       << (IsTerminal ? Name : (!U.E ? "Error" : "ExecSafe")) << ";\n\n";
+  };
+
+  // Init behaves like a root daemon start: (root, root, root).
+  emitState("Init", /*Start=*/true, /*Accept=*/false,
+            {false, false, false}, /*IsTerminal=*/false);
+  for (int Bits = 0; Bits != 8; ++Bits) {
+    Uids U{(Bits & 4) != 0, (Bits & 2) != 0, (Bits & 1) != 0};
+    emitState(uidStateName(U), false, false, U, false);
+  }
+  emitState("ExecSafe", false, false, {true, true, true},
+            /*IsTerminal=*/true);
+  emitState("Error", false, /*Accept=*/true, {false, false, false},
+            /*IsTerminal=*/true);
+  return OS.str();
+}
+
+std::string rasc::fileStateSpecText() {
+  return R"(# Figure 5: file-descriptor state with a parametric handle.
+# The accepting Error state marks misuse (double open, stray close);
+# the checkers report transitions into accepting states.
+start state Closed :
+  | open(x) -> Opened
+  | close(x) -> Error;
+
+state Opened :
+  | close(x) -> Closed
+  | open(x) -> Error;
+
+accept state Error :
+  | open(x) -> Error
+  | close(x) -> Error;
+)";
+}
+
+namespace {
+
+SpecAutomaton compileOrDie(const std::string &Text) {
+  std::string Err;
+  std::optional<SpecAutomaton> A = parseSpec(Text, &Err);
+  assert(A && "built-in property failed to parse");
+  if (!A)
+    __builtin_trap();
+  return std::move(*A);
+}
+
+} // namespace
+
+SpecAutomaton rasc::simplePrivilegeSpec() {
+  return compileOrDie(simplePrivilegeSpecText());
+}
+
+SpecAutomaton rasc::fullPrivilegeSpec() {
+  return compileOrDie(fullPrivilegeSpecText());
+}
+
+SpecAutomaton rasc::fileStateSpec() {
+  return compileOrDie(fileStateSpecText());
+}

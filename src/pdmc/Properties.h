@@ -1,0 +1,51 @@
+//===- pdmc/Properties.h - Security properties from the paper ---*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The temporal safety properties used in the paper's examples and
+/// experiments, written in the Section 8 specification language:
+///
+///   * simplePrivilegeSpec — Figure 3: seteuid(0)/seteuid(!0)/execl
+///     (with the self-loops Figure 4's representative functions
+///     imply).
+///   * fullPrivilegeSpec — a reconstruction of "Property 1 of [4]"
+///     used for Table 1: the complete process-privilege model with 11
+///     states and 9 alphabet symbols, tracking the abstract (real,
+///     effective, saved) uid triple through the setuid family. The
+///     MOPS paper's exact automaton is not published in reusable form;
+///     this model matches its published shape (state/symbol counts and
+///     the exec-with-privilege error condition). EXPERIMENTS.md
+///     records the measured |F_M^≡| next to the paper's 58.
+///   * fileStateSpec — Figure 5: parametric open(x)/close(x).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_PDMC_PROPERTIES_H
+#define RASC_PDMC_PROPERTIES_H
+
+#include "spec/SpecParser.h"
+
+#include <string>
+
+namespace rasc {
+
+/// Source text of the Figure 3 property.
+std::string simplePrivilegeSpecText();
+
+/// Source text of the 11-state, 9-symbol full privilege model.
+std::string fullPrivilegeSpecText();
+
+/// Source text of the Figure 5 parametric file property.
+std::string fileStateSpecText();
+
+/// Compiled versions (assert on parse failure).
+SpecAutomaton simplePrivilegeSpec();
+SpecAutomaton fullPrivilegeSpec();
+SpecAutomaton fileStateSpec();
+
+} // namespace rasc
+
+#endif // RASC_PDMC_PROPERTIES_H

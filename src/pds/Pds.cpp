@@ -1,0 +1,294 @@
+//===- pds/Pds.cpp - Pushdown systems and reachability ----------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pds/Pds.h"
+
+#include <deque>
+
+using namespace rasc;
+
+bool ConfigAutomaton::addTransition(uint32_t From, StackSym Sym,
+                                    uint32_t To) {
+  assert(From < NumStates && To < NumStates && "state out of range");
+  if (!TransSet[key(From, Sym)].insert(To).second)
+    return false;
+  if (Out.size() < NumStates)
+    Out.resize(NumStates);
+  Out[From].emplace_back(Sym, To);
+  ++NumTrans;
+  return true;
+}
+
+namespace {
+
+/// Epsilon closure of a state set.
+void epsClose(const ConfigAutomaton &A, std::vector<uint32_t> &States,
+              std::unordered_set<uint32_t> &Seen) {
+  std::deque<uint32_t> Work(States.begin(), States.end());
+  while (!Work.empty()) {
+    uint32_t S = Work.front();
+    Work.pop_front();
+    for (auto [Sym, T] : A.transitionsFrom(S))
+      if (Sym == EpsilonSym && Seen.insert(T).second) {
+        States.push_back(T);
+        Work.push_back(T);
+      }
+  }
+}
+
+} // namespace
+
+bool ConfigAutomaton::accepts(PdsState P,
+                              std::span<const StackSym> Word) const {
+  assert(P < NumControls && "not a control state");
+  std::vector<uint32_t> Cur{P};
+  std::unordered_set<uint32_t> Seen{P};
+  epsClose(*this, Cur, Seen);
+  for (StackSym Sym : Word) {
+    std::vector<uint32_t> Next;
+    std::unordered_set<uint32_t> NextSeen;
+    for (uint32_t S : Cur)
+      for (auto [A, T] : transitionsFrom(S))
+        if (A == Sym && NextSeen.insert(T).second)
+          Next.push_back(T);
+    epsClose(*this, Next, NextSeen);
+    Cur = std::move(Next);
+    Seen = std::move(NextSeen);
+    if (Cur.empty())
+      return false;
+  }
+  for (uint32_t S : Cur)
+    if (isAccepting(S))
+      return true;
+  return false;
+}
+
+bool ConfigAutomaton::anyAccepted(PdsState P) const {
+  return shortestAccepted(P).has_value();
+}
+
+std::optional<std::vector<StackSym>>
+ConfigAutomaton::shortestAccepted(PdsState P) const {
+  assert(P < NumControls && "not a control state");
+  // BFS over automaton states, tracking one parent edge each.
+  struct Parent {
+    uint32_t State;
+    StackSym Sym;
+  };
+  std::vector<std::optional<Parent>> Par(NumStates);
+  std::vector<bool> Seen(NumStates, false);
+  std::deque<uint32_t> Work{P};
+  Seen[P] = true;
+  uint32_t Found = ~0u;
+  if (isAccepting(P))
+    Found = P;
+  while (!Work.empty() && Found == ~0u) {
+    uint32_t S = Work.front();
+    Work.pop_front();
+    for (auto [Sym, T] : transitionsFrom(S)) {
+      if (Seen[T])
+        continue;
+      Seen[T] = true;
+      Par[T] = Parent{S, Sym};
+      if (isAccepting(T)) {
+        Found = T;
+        break;
+      }
+      Work.push_back(T);
+    }
+  }
+  if (Found == ~0u)
+    return std::nullopt;
+  std::vector<StackSym> Word;
+  for (uint32_t S = Found; S != P;) {
+    assert(Par[S] && "broken BFS parent chain");
+    if (Par[S]->Sym != EpsilonSym)
+      Word.push_back(Par[S]->Sym);
+    S = Par[S]->State;
+  }
+  std::reverse(Word.begin(), Word.end());
+  return Word;
+}
+
+ConfigAutomaton rasc::postStar(const Pds &P, const ConfigAutomaton &Init) {
+  assert(Init.numControls() == P.numControls() && "mismatched systems");
+#ifndef NDEBUG
+  for (uint32_t S = 0; S != Init.numStates(); ++S)
+    for (auto [Sym, T] : Init.transitionsFrom(S))
+      assert(T >= P.numControls() &&
+             "initial automaton must not enter control states");
+#endif
+
+  // Index rules by (control, stack symbol).
+  std::unordered_map<uint64_t, std::vector<const PdsRule *>> RuleIdx;
+  for (const PdsRule &R : P.rules())
+    RuleIdx[(static_cast<uint64_t>(R.P) << 32) | R.Gamma].push_back(&R);
+
+  ConfigAutomaton A(P.numControls());
+  while (A.numStates() < Init.numStates())
+    A.addState();
+  for (uint32_t S = 0; S != Init.numStates(); ++S)
+    if (Init.isAccepting(S))
+      A.setAccepting(S);
+
+  // Mid states q_{p', gamma1} for push rules.
+  std::unordered_map<uint64_t, uint32_t> MidStates;
+  auto midState = [&](PdsState Q, StackSym G) {
+    auto [It, New] = MidStates.emplace(
+        (static_cast<uint64_t>(Q) << 32) | G, 0);
+    if (New)
+      It->second = A.addState();
+    return It->second;
+  };
+
+  // Uniform worklist closure; epsilon compensation is maintained
+  // incrementally in both directions.
+  std::deque<std::tuple<uint32_t, StackSym, uint32_t>> Work;
+  std::vector<std::vector<uint32_t>> EpsIn; // EpsIn[q] = {r : (r,eps,q)}
+  auto insert = [&](uint32_t From, StackSym Sym, uint32_t To) {
+    if (A.addTransition(From, Sym, To))
+      Work.emplace_back(From, Sym, To);
+    if (EpsIn.size() < A.numStates())
+      EpsIn.resize(A.numStates());
+  };
+
+  for (uint32_t S = 0; S != Init.numStates(); ++S)
+    for (auto [Sym, T] : Init.transitionsFrom(S))
+      insert(S, Sym, T);
+  if (EpsIn.size() < A.numStates())
+    EpsIn.resize(A.numStates());
+
+  while (!Work.empty()) {
+    auto [Q, Sym, Q2] = Work.front();
+    Work.pop_front();
+    if (EpsIn.size() < A.numStates())
+      EpsIn.resize(A.numStates());
+
+    if (Sym != EpsilonSym) {
+      // PDS rules fire on transitions out of control states.
+      if (Q < P.numControls()) {
+        auto It = RuleIdx.find((static_cast<uint64_t>(Q) << 32) | Sym);
+        if (It != RuleIdx.end()) {
+          for (const PdsRule *R : It->second) {
+            switch (R->Push.size()) {
+            case 0:
+              insert(R->Q, EpsilonSym, Q2);
+              break;
+            case 1:
+              insert(R->Q, R->Push[0], Q2);
+              break;
+            case 2: {
+              uint32_t Mid = midState(R->Q, R->Push[0]);
+              if (EpsIn.size() < A.numStates())
+                EpsIn.resize(A.numStates());
+              insert(R->Q, R->Push[0], Mid);
+              insert(Mid, R->Push[1], Q2);
+              break;
+            }
+            default:
+              assert(false && "rules push at most two symbols");
+            }
+          }
+        }
+      }
+      // Epsilon compensation: r --eps--> Q --Sym--> Q2.
+      for (uint32_t R : EpsIn[Q])
+        insert(R, Sym, Q2);
+    } else {
+      EpsIn[Q2].push_back(Q);
+      // Compensate with existing transitions out of Q2 (copy: insert
+      // may grow the adjacency list).
+      auto OutQ2 = A.transitionsFrom(Q2);
+      for (auto [S2, T2] : OutQ2)
+        if (S2 != EpsilonSym)
+          insert(Q, S2, T2);
+    }
+  }
+  return A;
+}
+
+ConfigAutomaton rasc::preStar(const Pds &P, const ConfigAutomaton &Init) {
+  assert(Init.numControls() == P.numControls() && "mismatched systems");
+
+  ConfigAutomaton A(P.numControls());
+  while (A.numStates() < Init.numStates())
+    A.addState();
+  for (uint32_t S = 0; S != Init.numStates(); ++S)
+    if (Init.isAccepting(S))
+      A.setAccepting(S);
+
+  std::deque<std::tuple<uint32_t, StackSym, uint32_t>> Work;
+  auto insert = [&](uint32_t From, StackSym Sym, uint32_t To) {
+    if (A.addTransition(From, Sym, To))
+      Work.emplace_back(From, Sym, To);
+  };
+
+  // Pseudo-rules ⟨p, gamma⟩ -> ⟨q', gamma2⟩ produced from push rules;
+  // indexed by (q', gamma2).
+  struct Pseudo {
+    PdsState From;
+    StackSym Gamma;
+  };
+  std::unordered_map<uint64_t, std::vector<Pseudo>> PseudoIdx;
+
+  // One-symbol (and pseudo) rule application needs transitions indexed
+  // by (state, symbol); ConfigAutomaton::transitionsFrom suffices.
+
+  for (uint32_t S = 0; S != Init.numStates(); ++S)
+    for (auto [Sym, T] : Init.transitionsFrom(S)) {
+      assert(Sym != EpsilonSym && "pre* input must be epsilon-free");
+      insert(S, Sym, T);
+    }
+
+  // Pop rules fire unconditionally: ⟨p, gamma⟩ -> ⟨p', eps⟩ means
+  // ⟨p, gamma w⟩ reaches ⟨p', w⟩, so p --gamma--> p'.
+  for (const PdsRule &R : P.rules())
+    if (R.Push.empty())
+      insert(R.P, R.Gamma, R.Q);
+
+  // Index rules by (target control, first pushed symbol).
+  std::unordered_map<uint64_t, std::vector<const PdsRule *>> HeadIdx;
+  for (const PdsRule &R : P.rules())
+    if (!R.Push.empty())
+      HeadIdx[(static_cast<uint64_t>(R.Q) << 32) | R.Push[0]]
+          .push_back(&R);
+
+  while (!Work.empty()) {
+    auto [Q, Sym, Q2] = Work.front();
+    Work.pop_front();
+
+    // Complete pseudo-rules waiting on (Q, Sym).
+    auto PIt = PseudoIdx.find((static_cast<uint64_t>(Q) << 32) | Sym);
+    if (PIt != PseudoIdx.end()) {
+      auto Pending = PIt->second; // copy; may grow
+      for (const Pseudo &Ps : Pending)
+        insert(Ps.From, Ps.Gamma, Q2);
+    }
+
+    if (Q >= P.numControls())
+      continue;
+    auto HIt = HeadIdx.find((static_cast<uint64_t>(Q) << 32) | Sym);
+    if (HIt == HeadIdx.end())
+      continue;
+    for (const PdsRule *R : HIt->second) {
+      if (R->Push.size() == 1) {
+        insert(R->P, R->Gamma, Q2);
+        continue;
+      }
+      // Push rule ⟨p,gamma⟩ -> ⟨Q, Sym gamma2⟩ and Q --Sym--> Q2:
+      // complete against existing Q2 --gamma2--> q'' and register a
+      // pseudo-rule for future ones.
+      StackSym G2 = R->Push[1];
+      PseudoIdx[(static_cast<uint64_t>(Q2) << 32) | G2].push_back(
+          {R->P, R->Gamma});
+      auto OutQ2 = A.transitionsFrom(Q2); // copy
+      for (auto [S2, T2] : OutQ2)
+        if (S2 == G2)
+          insert(R->P, R->Gamma, T2);
+    }
+  }
+  return A;
+}

@@ -1,0 +1,128 @@
+//===- pds/Unidirectional.h - Forward/backward solving ----------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unidirectional solver strategies of paper Section 5. Instead of
+/// closing the constraint graph under the transitive rule with full
+/// representative functions (up to |S|^|S| of them), a forward solver
+/// propagates *facts* — an atom (constant), its current variable, and
+/// the state delta(w, s0) of the word w accumulated so far. The right
+/// congruence ≡_r identifies words by that single state, so the number
+/// of derivable annotations per edge is |S|, not |F_M^≡|.
+///
+/// Unmatched constructors form a stack (they are the unreturned calls
+/// / unprojected wraps), which makes whole-system forward solving
+/// exactly a pushdown reachability problem:
+///
+///   control  = DFA state of the atom's annotation
+///              (plus a pending-projection tag during unwrap);
+///   stack    = current variable on top, then the unmatched
+///              constructor contexts;
+///   rules    = one per constraint and per control state.
+///
+/// Forward solving is post* from the atom's initial configurations;
+/// backward solving is pre* from the target configurations (the
+/// symmetric construction with the left congruence — here literally
+/// the same pushdown run in reverse). Both answer the paper's queries;
+/// the bidirectional solver is needed only when constraints must be
+/// solved compositionally/online (Section 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_PDS_UNIDIRECTIONAL_H
+#define RASC_PDS_UNIDIRECTIONAL_H
+
+#include "core/ConstraintSystem.h"
+#include "core/Domains.h"
+#include "pds/Pds.h"
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace rasc {
+
+/// Forward/backward solver for a constraint system over a MonoidDomain.
+/// The system is encoded once; each queried atom runs one saturation.
+class UnidirectionalSolver {
+public:
+  UnidirectionalSolver(const ConstraintSystem &CS, const MonoidDomain &Dom);
+
+  /// States delta(w, s0) of words w along which \p Atom reaches \p V,
+  /// allowing unmatched (PN) constructor contexts. Sorted.
+  std::vector<StateId> pnStates(ConsId Atom, VarId V);
+
+  /// Same, but only fully matched (top-level) occurrences.
+  std::vector<StateId> matchedStates(ConsId Atom, VarId V);
+
+  /// Forward query: does \p Atom reach \p V along a word in L(M)?
+  bool reachesAccepting(ConsId Atom, VarId V, bool RequireMatched = false);
+
+  /// The same query answered by backward (pre*) solving; agrees with
+  /// reachesAccepting (tested), demonstrating the symmetric strategy.
+  bool reachesAcceptingBackward(ConsId Atom, VarId V,
+                                bool RequireMatched = false);
+
+  /// \returns true if a constructor-mismatch constraint was seen while
+  /// encoding (the system is inconsistent).
+  bool sawMismatch() const { return Mismatch; }
+
+  struct Stats {
+    size_t PdsRules = 0;
+    size_t PostStarTransitions = 0; // accumulated over queries
+    size_t Queries = 0;
+  };
+  const Stats &stats() const { return Statistics; }
+
+private:
+  struct Consumer { // c^-i(subject) ⊆^h Z, or a pseudo-projection
+    ConsId C;
+    uint32_t Index;
+    VarId Target;
+    AnnId Ann;
+  };
+
+  struct ForwardResult {
+    ConfigAutomaton A;
+    /// Stack-symbol count when the tables were built (symbols interned
+    /// by later queries have no transitions and never hit).
+    size_t NumSyms;
+    /// PnHit[s * NumSyms + sym]: from control s (after epsilon moves)
+    /// a sym-transition reaches a co-reachable state.
+    std::vector<bool> PnHit;
+    /// Same with a state accepting via epsilon moves only (matched).
+    std::vector<bool> MatchedHit;
+  };
+
+  void encode();
+  StackSym varSym(VarId V);
+  StackSym wrapSym(ExprId ConsExpr, uint32_t ArgIdx);
+  PdsState projControl(uint32_t ConsumerIdx, StateId S);
+  void addConsumer(VarId Subject, const Consumer &C);
+  const ForwardResult &forwardResult(ConsId Atom);
+
+  const ConstraintSystem &CS;
+  const MonoidDomain &Dom;
+  uint32_t NumStates; // |S| of the annotation machine
+
+  Pds P;
+  std::unordered_map<VarId, StackSym> VarSyms;
+  std::map<std::pair<ExprId, uint32_t>, StackSym> WrapSyms;
+  std::vector<std::pair<VarId, Consumer>> Consumers;
+  std::unordered_map<uint64_t, PdsState> ProjControls;
+  // Atom sources: constant ConsId -> list of (initial state, var).
+  std::unordered_map<ConsId, std::vector<std::pair<StateId, VarId>>>
+      AtomSources;
+  bool Mismatch = false;
+
+  std::unordered_map<ConsId, std::unique_ptr<ForwardResult>> ForwardCache;
+  Stats Statistics;
+};
+
+} // namespace rasc
+
+#endif // RASC_PDS_UNIDIRECTIONAL_H

@@ -1,0 +1,104 @@
+//===- progen/ProgramGen.cpp - Synthetic workload generation ----*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "progen/ProgramGen.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace rasc;
+
+Program rasc::generateProgram(const ProgGenOptions &Options) {
+  Rng R(Options.Seed);
+  Program P;
+
+  std::vector<FuncId> Funcs;
+  for (unsigned I = 0; I != Options.NumFunctions; ++I)
+    Funcs.push_back(
+        P.addFunction(I == 0 ? "main" : "f" + std::to_string(I)));
+
+  auto isParametric = [&](const std::string &Sym) {
+    return std::find(Options.ParametricSymbols.begin(),
+                     Options.ParametricSymbols.end(),
+                     Sym) != Options.ParametricSymbols.end();
+  };
+
+  for (unsigned FI = 0; FI != Options.NumFunctions; ++FI) {
+    FuncId F = Funcs[FI];
+    std::vector<StmtId> Body;
+    for (unsigned SI = 0; SI != Options.StmtsPerFunction; ++SI) {
+      uint64_t Roll = R.below(1000);
+      if (Roll < Options.CallPermille && Options.NumFunctions > 1) {
+        FuncId Callee;
+        if (Options.AllowRecursion) {
+          Callee = Funcs[R.below(Options.NumFunctions)];
+        } else if (FI + 1 < Options.NumFunctions) {
+          Callee = Funcs[FI + 1 + R.below(Options.NumFunctions - FI - 1)];
+        } else {
+          Body.push_back(P.addNop(F));
+          continue;
+        }
+        Body.push_back(P.addCall(F, Callee));
+      } else if (Roll < Options.CallPermille + Options.OpPermille &&
+                 !Options.OpSymbols.empty()) {
+        const std::string &Sym =
+            Options.OpSymbols[R.below(Options.OpSymbols.size())];
+        std::vector<std::string> Labels;
+        if (isParametric(Sym) && !Options.Labels.empty())
+          Labels.push_back(Options.Labels[R.below(Options.Labels.size())]);
+        Body.push_back(P.addOp(F, Sym, std::move(Labels)));
+      } else {
+        Body.push_back(P.addNop(F));
+      }
+    }
+
+    // Straight-line spine entry -> body -> exit.
+    StmtId Prev = P.entry(F);
+    for (StmtId S : Body) {
+      P.addEdge(Prev, S);
+      Prev = S;
+    }
+    P.addEdge(Prev, P.exit(F));
+
+    // Extra forward branches make diamonds and skips.
+    for (size_t I = 0; I + 1 < Body.size(); ++I)
+      if (R.below(1000) < Options.BranchPermille) {
+        size_t J = I + 1 + R.below(Body.size() - I - 1);
+        P.addEdge(Body[I], Body[J]);
+      }
+  }
+
+  P.finalize();
+  return P;
+}
+
+Program rasc::generatePackage(size_t Lines, const SpecAutomaton &Spec,
+                              uint64_t Seed) {
+  ProgGenOptions O;
+  O.Seed = Seed;
+  // ~3 lines of C per CFG statement, ~60 lines per function.
+  O.NumFunctions = static_cast<unsigned>(std::max<size_t>(2, Lines / 60));
+  O.StmtsPerFunction = static_cast<unsigned>(
+      std::max<size_t>(4, (Lines / 3) / O.NumFunctions));
+  O.CallPermille = 120;
+  // Security-relevant operations are rare in real code; roughly one
+  // per 150 lines.
+  O.OpPermille = 20;
+  O.BranchPermille = 250;
+  // Real packages have almost entirely acyclic call graphs; a random
+  // graph with back calls everywhere creates giant mutually recursive
+  // SCCs no real program has.
+  O.AllowRecursion = false;
+  for (SymbolId S = 0, E = Spec.machine().numSymbols(); S != E; ++S) {
+    O.OpSymbols.push_back(Spec.symbols()[S].Name);
+    if (Spec.isParametric(S))
+      O.ParametricSymbols.push_back(Spec.symbols()[S].Name);
+  }
+  if (!O.ParametricSymbols.empty())
+    O.Labels = {"fd1", "fd2", "fd3"};
+  return generateProgram(O);
+}

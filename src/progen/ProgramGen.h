@@ -1,0 +1,67 @@
+//===- progen/ProgramGen.h - Synthetic workload generation ------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seeded generators for synthetic programs. Table 1 of
+/// the paper checks real packages (VixieCron, At, Sendmail, Apache);
+/// those C sources are not available here, and the checkers consume
+/// only a CFG with security-relevant operations, so the benchmark
+/// harness generates packages with the same line counts and a
+/// realistic call/branch structure instead (see DESIGN.md,
+/// substitutions). The same generator drives the differential tests
+/// between the annotated-constraint checker and the MOPS baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_PROGEN_PROGRAMGEN_H
+#define RASC_PROGEN_PROGRAMGEN_H
+
+#include "pdmc/Program.h"
+#include "spec/SpecParser.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rasc {
+
+/// Tuning for generateProgram().
+struct ProgGenOptions {
+  uint64_t Seed = 1;
+  /// Number of functions (function 0 is main).
+  unsigned NumFunctions = 4;
+  /// Statements per function body.
+  unsigned StmtsPerFunction = 12;
+  /// Per-statement permille chance of being a call.
+  unsigned CallPermille = 150;
+  /// Per-statement permille chance of being a property operation.
+  unsigned OpPermille = 120;
+  /// Per-statement permille chance of an extra forward branch edge.
+  unsigned BranchPermille = 250;
+  /// Allow calls to any function (recursion) instead of only
+  /// later-indexed ones (a DAG call graph).
+  bool AllowRecursion = true;
+  /// Property symbols to draw operations from (weighted uniformly).
+  std::vector<std::string> OpSymbols;
+  /// Label pool for parametric symbols (empty = non-parametric).
+  std::vector<std::string> Labels;
+  /// Symbols that take a label (subset of OpSymbols).
+  std::vector<std::string> ParametricSymbols;
+};
+
+/// Generates a random program; deterministic in Options.Seed.
+Program generateProgram(const ProgGenOptions &Options);
+
+/// Generates a "package" comparable to a Table 1 row: \p Lines lines
+/// of C are modelled as roughly Lines/3 CFG statements spread over
+/// Lines/60 functions, with privilege operations drawn from \p Spec's
+/// alphabet sprinkled at realistic density.
+Program generatePackage(size_t Lines, const SpecAutomaton &Spec,
+                        uint64_t Seed);
+
+} // namespace rasc
+
+#endif // RASC_PROGEN_PROGRAMGEN_H

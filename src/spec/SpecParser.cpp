@@ -1,0 +1,346 @@
+//===- spec/SpecParser.cpp - Annotation specification language --*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "spec/SpecParser.h"
+
+#include <cctype>
+#include <map>
+
+using namespace rasc;
+
+namespace {
+
+enum class TokKind {
+  Ident,
+  Colon,
+  Semi,
+  Pipe,
+  Arrow,
+  LParen,
+  RParen,
+  Comma,
+  End,
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  unsigned Line;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Input) : Input(Input) {}
+
+  Token next() {
+    skipTrivia();
+    if (Pos >= Input.size())
+      return {TokKind::End, "", Line};
+    char C = Input[Pos];
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Input.size() &&
+             (std::isalnum(static_cast<unsigned char>(Input[Pos])) ||
+              Input[Pos] == '_'))
+        ++Pos;
+      return {TokKind::Ident,
+              std::string(Input.substr(Start, Pos - Start)), Line};
+    }
+    switch (C) {
+    case ':':
+      ++Pos;
+      return {TokKind::Colon, ":", Line};
+    case ';':
+      ++Pos;
+      return {TokKind::Semi, ";", Line};
+    case '|':
+      ++Pos;
+      return {TokKind::Pipe, "|", Line};
+    case '(':
+      ++Pos;
+      return {TokKind::LParen, "(", Line};
+    case ')':
+      ++Pos;
+      return {TokKind::RParen, ")", Line};
+    case ',':
+      ++Pos;
+      return {TokKind::Comma, ",", Line};
+    case '-':
+      if (Pos + 1 < Input.size() && Input[Pos + 1] == '>') {
+        Pos += 2;
+        return {TokKind::Arrow, "->", Line};
+      }
+      break;
+    default:
+      break;
+    }
+    return {TokKind::End, std::string(1, C), Line}; // reported as error
+  }
+
+private:
+  void skipTrivia() {
+    while (Pos < Input.size()) {
+      char C = Input[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '#') {
+        while (Pos < Input.size() && Input[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view Input;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+struct Arm {
+  std::string Symbol;
+  std::vector<std::string> Params;
+  std::string Target;
+  unsigned Line;
+};
+
+struct StateDecl {
+  std::string Name;
+  bool IsStart = false;
+  bool IsAccept = false;
+  std::vector<Arm> Arms;
+  unsigned Line;
+};
+
+class Parser {
+public:
+  Parser(std::string_view Input, std::string *Error)
+      : Lex(Input), Error(Error) {
+    Tok = Lex.next();
+  }
+
+  bool parse(std::vector<StateDecl> &States,
+             std::vector<std::string> &ExtraSymbols) {
+    while (Tok.Kind != TokKind::End || !Tok.Text.empty()) {
+      if (Tok.Kind == TokKind::End && Tok.Text.empty())
+        break;
+      if (Tok.Kind != TokKind::Ident)
+        return fail("expected declaration");
+      if (Tok.Text == "symbols") {
+        if (!parseSymbolsDecl(ExtraSymbols))
+          return false;
+        continue;
+      }
+      StateDecl D;
+      if (!parseStateDecl(D))
+        return false;
+      States.push_back(std::move(D));
+    }
+    return true;
+  }
+
+private:
+  bool fail(std::string_view Msg) {
+    if (Error && Error->empty())
+      *Error = std::string(Msg) + " on line " + std::to_string(Tok.Line);
+    return false;
+  }
+
+  void advance() { Tok = Lex.next(); }
+
+  bool expect(TokKind K, std::string_view What) {
+    if (Tok.Kind != K)
+      return fail(std::string("expected ") + std::string(What));
+    advance();
+    return true;
+  }
+
+  bool parseSymbolsDecl(std::vector<std::string> &ExtraSymbols) {
+    advance(); // 'symbols'
+    while (true) {
+      if (Tok.Kind != TokKind::Ident)
+        return fail("expected symbol name");
+      ExtraSymbols.push_back(Tok.Text);
+      advance();
+      if (Tok.Kind == TokKind::Comma) {
+        advance();
+        continue;
+      }
+      return expect(TokKind::Semi, "';'");
+    }
+  }
+
+  bool parseStateDecl(StateDecl &D) {
+    D.Line = Tok.Line;
+    while (Tok.Kind == TokKind::Ident &&
+           (Tok.Text == "start" || Tok.Text == "accept")) {
+      (Tok.Text == "start" ? D.IsStart : D.IsAccept) = true;
+      advance();
+    }
+    if (Tok.Kind != TokKind::Ident || Tok.Text != "state")
+      return fail("expected 'state'");
+    advance();
+    if (Tok.Kind != TokKind::Ident)
+      return fail("expected state name");
+    D.Name = Tok.Text;
+    advance();
+    if (Tok.Kind == TokKind::Semi) {
+      advance();
+      return true;
+    }
+    if (!expect(TokKind::Colon, "':' or ';'"))
+      return false;
+    while (Tok.Kind == TokKind::Pipe) {
+      advance();
+      Arm A;
+      A.Line = Tok.Line;
+      if (Tok.Kind != TokKind::Ident)
+        return fail("expected symbol name");
+      A.Symbol = Tok.Text;
+      advance();
+      if (Tok.Kind == TokKind::LParen) {
+        advance();
+        while (true) {
+          if (Tok.Kind != TokKind::Ident)
+            return fail("expected parameter name");
+          A.Params.push_back(Tok.Text);
+          advance();
+          if (Tok.Kind == TokKind::Comma) {
+            advance();
+            continue;
+          }
+          break;
+        }
+        if (!expect(TokKind::RParen, "')'"))
+          return false;
+      }
+      if (!expect(TokKind::Arrow, "'->'"))
+        return false;
+      if (Tok.Kind != TokKind::Ident)
+        return fail("expected target state name");
+      A.Target = Tok.Text;
+      advance();
+      D.Arms.push_back(std::move(A));
+    }
+    return expect(TokKind::Semi, "';'");
+  }
+
+  Lexer Lex;
+  Token Tok;
+  std::string *Error;
+};
+
+} // namespace
+
+std::optional<SpecAutomaton> rasc::parseSpec(std::string_view Text,
+                                             std::string *Error) {
+  std::string LocalError;
+  if (!Error)
+    Error = &LocalError;
+
+  std::vector<StateDecl> States;
+  std::vector<std::string> ExtraSymbols;
+  Parser P(Text, Error);
+  if (!P.parse(States, ExtraSymbols))
+    return std::nullopt;
+
+  if (States.empty()) {
+    *Error = "specification declares no states";
+    return std::nullopt;
+  }
+
+  DfaBuilder B;
+  std::map<std::string, StateId> StateIds;
+  std::vector<std::string> StateNames;
+  for (const StateDecl &D : States) {
+    if (StateIds.count(D.Name)) {
+      *Error = "duplicate state '" + D.Name + "' on line " +
+               std::to_string(D.Line);
+      return std::nullopt;
+    }
+    StateIds[D.Name] = B.addState(D.Name);
+    StateNames.push_back(D.Name);
+  }
+
+  std::vector<SpecSymbol> Symbols;
+  auto addSymbol = [&](const std::string &Name,
+                       const std::vector<std::string> &Params,
+                       unsigned Line) -> std::optional<SymbolId> {
+    SymbolId Id = B.addSymbol(Name);
+    if (Id == Symbols.size()) {
+      Symbols.push_back({Name, Params});
+      return Id;
+    }
+    if (Symbols[Id].Params != Params) {
+      *Error = "symbol '" + Name +
+               "' used with inconsistent parameters on line " +
+               std::to_string(Line);
+      return std::nullopt;
+    }
+    return Id;
+  };
+
+  for (const std::string &S : ExtraSymbols)
+    if (!addSymbol(S, {}, 0))
+      return std::nullopt;
+
+  std::map<uint64_t, int> SeenTransitions;
+  bool HaveStart = false, HaveAccept = false;
+  for (const StateDecl &D : States) {
+    StateId S = StateIds[D.Name];
+    if (D.IsStart) {
+      if (HaveStart) {
+        *Error = "multiple start states ('" + D.Name + "' on line " +
+                 std::to_string(D.Line) + ")";
+        return std::nullopt;
+      }
+      B.setStart(S);
+      HaveStart = true;
+    }
+    if (D.IsAccept) {
+      B.setAccepting(S);
+      HaveAccept = true;
+    }
+    for (const Arm &A : D.Arms) {
+      auto TargetIt = StateIds.find(A.Target);
+      if (TargetIt == StateIds.end()) {
+        *Error = "unknown target state '" + A.Target + "' on line " +
+                 std::to_string(A.Line);
+        return std::nullopt;
+      }
+      std::optional<SymbolId> Sym = addSymbol(A.Symbol, A.Params, A.Line);
+      if (!Sym)
+        return std::nullopt;
+      if (!SeenTransitions
+               .emplace((static_cast<uint64_t>(S) << 32) | *Sym, 0)
+               .second) {
+        *Error = "duplicate transition on '" + A.Symbol + "' from state '" +
+                 D.Name + "' on line " + std::to_string(A.Line);
+        return std::nullopt;
+      }
+      B.addTransition(S, *Sym, TargetIt->second);
+    }
+  }
+
+  if (!HaveStart) {
+    *Error = "no start state declared";
+    return std::nullopt;
+  }
+  if (!HaveAccept) {
+    *Error = "no accept state declared";
+    return std::nullopt;
+  }
+
+  Dfa M = B.build();
+  // Name the implicit dead state, if build() created one.
+  while (StateNames.size() < M.numStates())
+    StateNames.push_back("<dead>");
+  return SpecAutomaton(std::move(M), std::move(StateNames),
+                       std::move(Symbols));
+}

@@ -1,0 +1,104 @@
+//===- spec/SpecParser.h - Annotation specification language ----*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The annotation specification language of paper Section 8: an
+/// ML-pattern-matching-flavoured syntax for finite state properties,
+/// compiled to a total DFA whose transition monoid the solver uses.
+/// The process-privilege property of Figure 3 is written:
+///
+///   start state Unpriv :
+///     | seteuid_zero -> Priv;
+///
+///   state Priv :
+///     | seteuid_nonzero -> Unpriv
+///     | execl -> Error;
+///
+///   accept state Error;
+///
+/// Extensions supported here:
+///   * '#' line comments;
+///   * parametric symbols (Section 6.4): "| open(x) -> Opened;"
+///     declares a symbol with parameter x, instantiated on the fly by
+///     substitution environments;
+///   * "symbols a, b, c;" declares extra alphabet symbols that label
+///     no transition (they implicitly go to the dead state), so that
+///     several properties can share one alphabet.
+///
+/// Transitions not written implicitly go to a rejecting sink state; a
+/// missing transition means the word has left the property's language.
+/// Symbols are *not* implicitly self-looping — a property that should
+/// ignore a symbol in a state must say "| sym -> SameState".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SPEC_SPECPARSER_H
+#define RASC_SPEC_SPECPARSER_H
+
+#include "automata/Dfa.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rasc {
+
+/// An alphabet symbol declared by a specification, with the names of
+/// its parameters (empty for non-parametric symbols).
+struct SpecSymbol {
+  std::string Name;
+  std::vector<std::string> Params;
+};
+
+/// A compiled specification: the total DFA plus the naming metadata
+/// needed by applications (state names for diagnostics, parametric
+/// symbol declarations for substitution environments).
+class SpecAutomaton {
+public:
+  SpecAutomaton(Dfa Machine, std::vector<std::string> StateNames,
+                std::vector<SpecSymbol> Symbols)
+      : Machine(std::move(Machine)), StateNames(std::move(StateNames)),
+        Symbols(std::move(Symbols)) {}
+
+  const Dfa &machine() const { return Machine; }
+
+  /// State name for diagnostics; the implicit sink is "<dead>".
+  const std::string &stateName(StateId S) const {
+    assert(S < StateNames.size() && "state out of range");
+    return StateNames[S];
+  }
+
+  std::optional<StateId> stateByName(std::string_view Name) const {
+    for (StateId I = 0, E = static_cast<StateId>(StateNames.size()); I != E;
+         ++I)
+      if (StateNames[I] == Name)
+        return I;
+    return std::nullopt;
+  }
+
+  const std::vector<SpecSymbol> &symbols() const { return Symbols; }
+
+  /// \returns true if the given symbol takes parameters.
+  bool isParametric(SymbolId Sym) const {
+    assert(Sym < Symbols.size() && "symbol out of range");
+    return !Symbols[Sym].Params.empty();
+  }
+
+private:
+  Dfa Machine;
+  std::vector<std::string> StateNames;
+  std::vector<SpecSymbol> Symbols;
+};
+
+/// Parses and compiles \p Text. On error returns std::nullopt and sets
+/// \p Error to a message with a line number.
+std::optional<SpecAutomaton> parseSpec(std::string_view Text,
+                                       std::string *Error = nullptr);
+
+} // namespace rasc
+
+#endif // RASC_SPEC_SPECPARSER_H

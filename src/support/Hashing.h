@@ -1,0 +1,65 @@
+//===- support/Hashing.h - Hash utilities -----------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hashing helpers used by the interning tables throughout the
+/// library. We use a 64-bit FNV/boost-style mixer; the goal is decent
+/// dispersion for dense integer ids, not cryptographic strength.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SUPPORT_HASHING_H
+#define RASC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace rasc {
+
+/// Mixes \p Value into the running hash \p Seed.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  // 64-bit variant of boost::hash_combine with a splitmix-style finalizer.
+  uint64_t X = Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  return Seed ^ X;
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename Iter>
+uint64_t hashRange(Iter Begin, Iter End, uint64_t Seed = 0x12345678ULL) {
+  uint64_t H = Seed;
+  for (Iter I = Begin; I != End; ++I)
+    H = hashCombine(H, static_cast<uint64_t>(*I));
+  return H;
+}
+
+/// Hash functor for std::pair of integral types, usable as the Hash
+/// template argument of unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B> &P) const {
+    return static_cast<size_t>(
+        hashCombine(static_cast<uint64_t>(P.first),
+                    static_cast<uint64_t>(P.second)));
+  }
+};
+
+/// Hash functor for std::vector of integral types.
+struct VectorHash {
+  template <typename T>
+  size_t operator()(const std::vector<T> &V) const {
+    return static_cast<size_t>(hashRange(V.begin(), V.end()));
+  }
+};
+
+} // namespace rasc
+
+#endif // RASC_SUPPORT_HASHING_H

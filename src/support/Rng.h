@@ -1,0 +1,67 @@
+//===- support/Rng.h - Deterministic random numbers -------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64) used by the synthetic
+/// workload generators and the property tests. We avoid <random> engines
+/// so that generated workloads are bit-identical across platforms and
+/// standard library versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SUPPORT_RNG_H
+#define RASC_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace rasc {
+
+/// splitmix64: passes BigCrush, two multiplies and three xors per draw.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next 64 random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniform integer in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) {
+    assert(Bound != 0 && "empty range");
+    // Rejection sampling to avoid modulo bias.
+    uint64_t Threshold = (~Bound + 1) % Bound; // == 2^64 mod Bound
+    while (true) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// \returns a uniform integer in [Lo, Hi] inclusive.
+  uint64_t range(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "bad range");
+    return Lo + below(Hi - Lo + 1);
+  }
+
+  /// \returns true with probability \p Num / \p Den.
+  bool chance(uint64_t Num, uint64_t Den) {
+    assert(Den != 0 && "zero denominator");
+    return below(Den) < Num;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace rasc
+
+#endif // RASC_SUPPORT_RNG_H

@@ -1,0 +1,64 @@
+//===- support/StringPool.h - String interner -------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings to dense 32-bit ids. Symbol alphabets, constructor
+/// names, variable names, and parametric-annotation labels all go
+/// through a pool so the hot paths deal only in integers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SUPPORT_STRINGPOOL_H
+#define RASC_SUPPORT_STRINGPOOL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rasc {
+
+/// Bidirectional string <-> dense id map. Ids are assigned in insertion
+/// order starting at 0 and are stable for the pool's lifetime.
+class StringPool {
+public:
+  static constexpr uint32_t InvalidId = ~uint32_t(0);
+
+  /// Interns \p S, returning its id (allocating a new one if needed).
+  uint32_t intern(std::string_view S) {
+    auto It = Ids.find(std::string(S));
+    if (It != Ids.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(Strings.size());
+    Strings.emplace_back(S);
+    Ids.emplace(Strings.back(), Id);
+    return Id;
+  }
+
+  /// \returns the id of \p S if already interned, InvalidId otherwise.
+  uint32_t lookup(std::string_view S) const {
+    auto It = Ids.find(std::string(S));
+    return It == Ids.end() ? InvalidId : It->second;
+  }
+
+  /// \returns the string for \p Id.
+  const std::string &str(uint32_t Id) const {
+    assert(Id < Strings.size() && "invalid string id");
+    return Strings[Id];
+  }
+
+  size_t size() const { return Strings.size(); }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+} // namespace rasc
+
+#endif // RASC_SUPPORT_STRINGPOOL_H

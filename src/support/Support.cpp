@@ -1,0 +1,14 @@
+//===- support/Support.cpp - Anchor for the support library ----*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/DynamicBitset.h"
+#include "support/Hashing.h"
+#include "support/Rng.h"
+#include "support/StringPool.h"
+#include "support/UnionFind.h"
+
+// The support library is header-only; this file exists so the static
+// archive has at least one object file.

@@ -1,0 +1,233 @@
+//===- tests/dataflow_test.cpp - Interprocedural dataflow tests -*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dataflow/BitVector.h"
+#include "progen/ProgramGen.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace rasc;
+
+namespace {
+
+TEST(Dataflow, GenKillBranches) {
+  // fact 0 is gen'd on one branch only: may but not must at the join;
+  // fact 1 is gen'd on both: must.
+  Program P;
+  FuncId Main = P.addFunction("main");
+  StmtId Branch = P.addNop(Main);
+  StmtId L = P.addNop(Main, "left");
+  StmtId R = P.addNop(Main, "right");
+  StmtId Join = P.addNop(Main, "join");
+  P.addEdge(P.entry(Main), Branch);
+  P.addEdge(Branch, L);
+  P.addEdge(Branch, R);
+  P.addEdge(L, Join);
+  P.addEdge(R, Join);
+  P.finalize();
+
+  BitVectorProblem Prob(P, 2);
+  Prob.setGen(L, 0);
+  Prob.setGen(L, 1);
+  Prob.setGen(R, 1);
+
+  AnnotatedBitVectorAnalysis A(Prob);
+  A.solve();
+  IterativeBitVectorAnalysis I(Prob);
+  I.solve();
+
+  EXPECT_TRUE(A.mayHold(Join, 0));
+  EXPECT_FALSE(A.mustHold(Join, 0));
+  EXPECT_TRUE(A.mustHold(Join, 1));
+  EXPECT_FALSE(A.mayHold(Branch, 0));
+
+  EXPECT_TRUE(I.mayHold(Join, 0));
+  EXPECT_FALSE(I.mustHold(Join, 0));
+  EXPECT_TRUE(I.mustHold(Join, 1));
+  EXPECT_FALSE(I.mayHold(Branch, 0));
+}
+
+TEST(Dataflow, KillCancelsGen) {
+  Program P;
+  FuncId Main = P.addFunction("main");
+  StmtId G = P.addNop(Main);
+  StmtId K = P.addNop(Main);
+  StmtId End = P.addNop(Main);
+  P.addEdge(P.entry(Main), G);
+  P.addEdge(G, K);
+  P.addEdge(K, End);
+  P.finalize();
+
+  BitVectorProblem Prob(P, 1);
+  Prob.setGen(G, 0);
+  Prob.setKill(K, 0);
+
+  AnnotatedBitVectorAnalysis A(Prob);
+  A.solve();
+  EXPECT_TRUE(A.mayHold(K, 0));   // before the kill
+  EXPECT_FALSE(A.mayHold(End, 0)); // after the kill
+  // Exactly one path class reaches End (idempotence of gen/kill).
+  EXPECT_EQ(A.numReachingClasses(End), 1u);
+}
+
+TEST(Dataflow, InterproceduralTransferThroughCall) {
+  // main: gen 0; call f; check after. f kills 0, gens 1.
+  Program P;
+  FuncId Main = P.addFunction("main");
+  FuncId F = P.addFunction("f");
+  StmtId G = P.addNop(Main);
+  StmtId Call = P.addCall(Main, F);
+  StmtId After = P.addNop(Main);
+  P.addEdge(P.entry(Main), G);
+  P.addEdge(G, Call);
+  P.addEdge(Call, After);
+  StmtId Body = P.addNop(F);
+  P.addEdge(P.entry(F), Body);
+  P.finalize();
+
+  BitVectorProblem Prob(P, 2);
+  Prob.setGen(G, 0);
+  Prob.setKill(Body, 0);
+  Prob.setGen(Body, 1);
+
+  AnnotatedBitVectorAnalysis A(Prob);
+  A.solve();
+  IterativeBitVectorAnalysis I(Prob);
+  I.solve();
+
+  // Inside f, fact 0 still holds on entry (flowed in from main).
+  EXPECT_TRUE(A.mustHold(Body, 0));
+  EXPECT_TRUE(I.mustHold(Body, 0));
+  // After the call, fact 0 is killed and fact 1 holds.
+  EXPECT_FALSE(A.mayHold(After, 0));
+  EXPECT_FALSE(I.mayHold(After, 0));
+  EXPECT_TRUE(A.mustHold(After, 1));
+  EXPECT_TRUE(I.mustHold(After, 1));
+}
+
+TEST(Dataflow, ContextSensitivityOfValidPaths) {
+  // f is called from two contexts with different facts; inside f the
+  // fact is may-but-not-must, and after each call only the caller's
+  // own fact plus f's effect is present: an invalid path (enter from
+  // caller 1, return to caller 2) would smear fact 0 into caller 2.
+  Program P;
+  FuncId Main = P.addFunction("main");
+  FuncId F = P.addFunction("f");
+  StmtId G0 = P.addNop(Main, "gen0");
+  StmtId Call1 = P.addCall(Main, F);
+  StmtId Mid = P.addNop(Main, "kill0 gen1");
+  StmtId Call2 = P.addCall(Main, F);
+  StmtId End = P.addNop(Main);
+  P.addEdge(P.entry(Main), G0);
+  P.addEdge(G0, Call1);
+  P.addEdge(Call1, Mid);
+  P.addEdge(Mid, Call2);
+  P.addEdge(Call2, End);
+  StmtId Body = P.addNop(F);
+  P.addEdge(P.entry(F), Body);
+  P.finalize();
+
+  BitVectorProblem Prob(P, 2);
+  Prob.setGen(G0, 0);
+  Prob.setKill(Mid, 0);
+  Prob.setGen(Mid, 1);
+
+  AnnotatedBitVectorAnalysis A(Prob);
+  A.solve();
+  IterativeBitVectorAnalysis I(Prob);
+  I.solve();
+
+  EXPECT_TRUE(A.mayHold(Body, 0));
+  EXPECT_FALSE(A.mustHold(Body, 0));
+  // At End (after second call): fact 0 must NOT hold on any valid
+  // path; fact 1 must hold.
+  EXPECT_FALSE(A.mayHold(End, 0));
+  EXPECT_TRUE(A.mustHold(End, 1));
+  EXPECT_FALSE(I.mayHold(End, 0));
+  EXPECT_TRUE(I.mustHold(End, 1));
+}
+
+TEST(Dataflow, NonReturningCalleeBlocksPath) {
+  // f loops forever (its exit is unreachable): code after the call is
+  // unreachable, so nothing may or must hold there.
+  Program P;
+  FuncId Main = P.addFunction("main");
+  FuncId F = P.addFunction("loop");
+  StmtId G = P.addNop(Main);
+  StmtId Call = P.addCall(Main, F);
+  StmtId After = P.addNop(Main);
+  P.addEdge(P.entry(Main), G);
+  P.addEdge(G, Call);
+  P.addEdge(Call, After);
+  // loop: a self-recursive call with no other path to the exit.
+  StmtId Self = P.addCall(F, F);
+  P.addEdge(P.entry(F), Self);
+  StmtId Dead = P.addNop(F);
+  P.addEdge(Self, Dead);
+  P.addEdge(Dead, P.exit(F)); // only reachable if the call returns
+  P.finalize();
+
+  BitVectorProblem Prob(P, 1);
+  Prob.setGen(G, 0);
+
+  AnnotatedBitVectorAnalysis A(Prob);
+  A.solve();
+  IterativeBitVectorAnalysis I(Prob);
+  I.solve();
+
+  EXPECT_TRUE(A.mayHold(Call, 0));
+  EXPECT_TRUE(I.mayHold(Call, 0));
+  EXPECT_FALSE(A.mayHold(After, 0));
+  EXPECT_FALSE(A.mustHold(After, 0));
+  EXPECT_FALSE(I.mayHold(After, 0));
+  EXPECT_FALSE(I.mustHold(After, 0));
+}
+
+/// Differential: annotated vs iterative on random programs with
+/// random gen/kill assignments.
+class DataflowDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DataflowDifferential, MayAndMustAgree) {
+  Rng R(GetParam() * 31 + 7);
+  ProgGenOptions O;
+  O.Seed = GetParam();
+  O.NumFunctions = 2 + R.below(4);
+  O.StmtsPerFunction = 6 + R.below(10);
+  O.AllowRecursion = (GetParam() % 3) != 0;
+  Program P = generateProgram(O);
+
+  unsigned Bits = 1 + static_cast<unsigned>(R.below(6));
+  BitVectorProblem Prob(P, Bits);
+  for (StmtId S = 0; S != P.numStatements(); ++S) {
+    if (P.stmt(S).Kind == Stmt::Call)
+      continue;
+    for (unsigned B = 0; B != Bits; ++B) {
+      if (R.chance(1, 6))
+        Prob.setGen(S, B);
+      if (R.chance(1, 6))
+        Prob.setKill(S, B);
+    }
+  }
+
+  AnnotatedBitVectorAnalysis A(Prob);
+  A.solve();
+  IterativeBitVectorAnalysis I(Prob);
+  I.solve();
+
+  for (StmtId S = 0; S != P.numStatements(); ++S)
+    for (unsigned B = 0; B != Bits; ++B) {
+      EXPECT_EQ(A.mayHold(S, B), I.mayHold(S, B))
+          << "may stmt " << S << " bit " << B << " seed " << GetParam();
+      EXPECT_EQ(A.mustHold(S, B), I.mustHold(S, B))
+          << "must stmt " << S << " bit " << B << " seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DataflowDifferential,
+                         ::testing::Range(uint64_t(1), uint64_t(50)));
+
+} // namespace

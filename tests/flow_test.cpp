@@ -1,0 +1,399 @@
+//===- tests/flow_test.cpp - Type-based flow analysis tests -----*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/Analysis.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace rasc;
+
+namespace {
+
+/// Figure 11:  pair (y:int) : (int,int) = (1, y);
+///             main (z:int) : int = pair(2).2;
+const char *Figure11 = R"(
+pair (y : int) : (int, int) = (1, y);
+main (z : int) : int = pair(2).2;
+)";
+
+TEST(FlowLang, ParsesFigure11) {
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Figure11, &Err);
+  ASSERT_TRUE(P) << Err;
+  ASSERT_EQ(P->functions().size(), 2u);
+  EXPECT_EQ(P->functions()[0].Name, "pair");
+  EXPECT_EQ(P->functions()[1].Name, "main");
+  EXPECT_EQ(P->numCallSites(), 1u);
+  ASSERT_EQ(P->literals().size(), 2u);
+}
+
+TEST(FlowLang, TypeErrors) {
+  std::string Err;
+  EXPECT_FALSE(FlowProgram::parse("f (x:int) : int = y;", &Err));
+  EXPECT_NE(Err.find("unbound"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(FlowProgram::parse("f (x:int) : int = x.1;", &Err));
+  EXPECT_NE(Err.find("non-pair"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(FlowProgram::parse("f (x:int) : int = g(x);", &Err));
+  EXPECT_NE(Err.find("undeclared"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(FlowProgram::parse("", &Err));
+  EXPECT_NE(Err.find("no functions"), std::string::npos);
+}
+
+TEST(FlowAutomaton, Figure10Shape) {
+  // For a program whose largest type is (int, int), the pair automaton
+  // has the Figure 10 shape: root + one state per component position,
+  // plus the rejecting sink.
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Figure11, &Err);
+  ASSERT_TRUE(P) << Err;
+  Dfa M = buildPairAutomaton(*P);
+  // Root, [1_int, [2_int, dead.
+  EXPECT_EQ(M.numStates(), 4u);
+  EXPECT_EQ(M.numSymbols(), 4u);
+  // Balanced bracket words are accepted.
+  auto Sym = [&](const char *N) { return *M.symbol(N); };
+  EXPECT_TRUE(M.accepts(Word{}));
+  EXPECT_TRUE(M.accepts(Word{Sym("open1_int"), Sym("close1_int")}));
+  EXPECT_FALSE(M.accepts(Word{Sym("open1_int"), Sym("close2_int")}));
+  EXPECT_FALSE(M.accepts(Word{Sym("open1_int")}));
+  // No nesting below int components.
+  EXPECT_FALSE(M.accepts(Word{Sym("open1_int"), Sym("open1_int"),
+                              Sym("close1_int"), Sym("close1_int")}));
+}
+
+TEST(FlowAutomaton, NestedTypesNest) {
+  const char *Src = R"(
+mk (p : (int, int)) : ((int, int), int) = (p, 7);
+main (z : int) : int = mk((1, 2)).1.2;
+)";
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Src, &Err);
+  ASSERT_TRUE(P) << Err;
+  Dfa M = buildPairAutomaton(*P);
+  // Chains can descend int -> (int,int): e.g. [2_int after [1_int is
+  // allowed when the outer pair's first component is (int, int)...
+  auto Open1Int = M.symbol("open1_int");
+  auto Close1Int = M.symbol("close1_int");
+  auto Open1Pair = M.symbol("open1__intx_int_");
+  auto Close1Pair = M.symbol("close1__intx_int_");
+  ASSERT_TRUE(Open1Int && Open1Pair && Close1Pair && Close1Int);
+  // Value into inner pos 1, inner pair into outer pos 1, then out.
+  EXPECT_TRUE(M.accepts(
+      Word{*Open1Int, *Open1Pair, *Close1Pair, *Close1Int}));
+  // Mismatched nesting dies.
+  EXPECT_FALSE(M.accepts(
+      Word{*Open1Pair, *Open1Int, *Close1Int, *Close1Pair}));
+}
+
+TEST(FlowAnalysis, Figure12FlowBToV) {
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Figure11, &Err);
+  ASSERT_TRUE(P) << Err;
+
+  // Literal 2 (the argument) flows to main's body result; literal 1
+  // (the pair's first component) does not reach .2.
+  std::vector<FExprId> Lits = P->literals();
+  ASSERT_EQ(Lits.size(), 2u);
+  FExprId Lit1 = Lits[0], Lit2 = Lits[1];
+  ASSERT_EQ(P->expr(Lit1).LitValue, 1);
+  ASSERT_EQ(P->expr(Lit2).LitValue, 2);
+  FExprId MainBody = P->functions()[1].Body;
+
+  for (FlowMode Mode : {FlowMode::Primal, FlowMode::Dual}) {
+    FlowAnalysis FA(*P, Mode);
+    EXPECT_TRUE(FA.flows(Lit2, MainBody))
+        << (Mode == FlowMode::Primal ? "primal" : "dual");
+    EXPECT_FALSE(FA.flows(Lit1, MainBody))
+        << (Mode == FlowMode::Primal ? "primal" : "dual");
+  }
+}
+
+TEST(FlowAnalysis, ProjectionSelectsComponent) {
+  const char *Src = R"(
+main (z : int) : int = ((1, 2).1, (3, 4).2).2;
+)";
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Src, &Err);
+  ASSERT_TRUE(P) << Err;
+  std::vector<FExprId> Lits = P->literals();
+  ASSERT_EQ(Lits.size(), 4u);
+  FExprId Body = P->functions()[0].Body;
+
+  for (FlowMode Mode : {FlowMode::Primal, FlowMode::Dual}) {
+    FlowAnalysis FA(*P, Mode);
+    // ((1,2).1, (3,4).2).2 == 4.
+    EXPECT_FALSE(FA.flows(Lits[0], Body));
+    EXPECT_FALSE(FA.flows(Lits[1], Body));
+    EXPECT_FALSE(FA.flows(Lits[2], Body));
+    EXPECT_TRUE(FA.flows(Lits[3], Body));
+  }
+}
+
+TEST(FlowAnalysis, ContextSensitivityAcrossCalls) {
+  // id is called twice; each caller gets its own argument back, not
+  // the other's (polymorphic / context-sensitive call matching).
+  const char *Src = R"(
+id (x : int) : int = x;
+main (z : int) : (int, int) = (id(1), id(2));
+)";
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Src, &Err);
+  ASSERT_TRUE(P) << Err;
+  std::vector<FExprId> Lits = P->literals();
+  ASSERT_EQ(Lits.size(), 2u);
+
+  // The two call expressions.
+  std::vector<FExprId> Calls;
+  for (FExprId E = 0; E != P->numExprs(); ++E)
+    if (P->expr(E).Kind == FExpr::Call)
+      Calls.push_back(E);
+  ASSERT_EQ(Calls.size(), 2u);
+
+  for (FlowMode Mode : {FlowMode::Primal, FlowMode::Dual}) {
+    FlowAnalysis FA(*P, Mode);
+    EXPECT_TRUE(FA.flows(Lits[0], Calls[0]));
+    EXPECT_TRUE(FA.flows(Lits[1], Calls[1]));
+    EXPECT_FALSE(FA.flows(Lits[0], Calls[1]))
+        << (Mode == FlowMode::Primal ? "primal" : "dual");
+    EXPECT_FALSE(FA.flows(Lits[1], Calls[0]))
+        << (Mode == FlowMode::Primal ? "primal" : "dual");
+  }
+}
+
+TEST(FlowAnalysis, MatchedQueryHidesEscapingValue) {
+  // A literal born inside the callee reaches the caller only on an
+  // N-path (it escapes the call that created it): the matched query
+  // misses it in both analyses, the primal PN query finds it
+  // (Section 7.3's extension).
+  const char *Src = R"(
+mk (x : int) : int = 5;
+main (z : int) : int = mk(z);
+)";
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Src, &Err);
+  ASSERT_TRUE(P) << Err;
+  FExprId Lit5 = P->literals()[0];
+  FExprId MainBody = P->functions()[1].Body;
+
+  FlowAnalysis Primal(*P, FlowMode::Primal);
+  EXPECT_FALSE(Primal.flows(Lit5, MainBody));
+  EXPECT_TRUE(Primal.flowsPN(Lit5, MainBody));
+
+  FlowAnalysis Dual(*P, FlowMode::Dual);
+  EXPECT_FALSE(Dual.flows(Lit5, MainBody));
+}
+
+TEST(FlowAnalysis, PolymorphicRecursionPrimal) {
+  // A recursive identity: the primal analysis keeps call matching
+  // context-free even through recursion (polymorphic recursion),
+  // while the dual approximates recursive calls monomorphically.
+  const char *Src = R"(
+rec (x : int) : int = rec(x);
+main (z : int) : (int, int) = (rec(1), rec(2));
+)";
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Src, &Err);
+  ASSERT_TRUE(P) << Err;
+  std::vector<FExprId> Lits = P->literals();
+  std::vector<FExprId> Calls;
+  for (FExprId E = 0; E != P->numExprs(); ++E)
+    if (P->expr(E).Kind == FExpr::Call &&
+        P->expr(E).Kid0 != P->functions()[0].Body)
+      Calls.push_back(E);
+
+  // Note: rec never returns a value that escapes its own recursion
+  // (rec(x) = rec(x) loops), so neither literal flows anywhere on a
+  // matched path. What distinguishes the analyses is the recursive
+  // call site: the dual approximates it with the empty annotation.
+  std::vector<bool> RecSites;
+  buildCallAutomaton(*P, &RecSites);
+  ASSERT_EQ(RecSites.size(), 3u);
+  unsigned NumRecursive = 0;
+  for (bool B : RecSites)
+    NumRecursive += B;
+  EXPECT_EQ(NumRecursive, 1u); // only the self-call
+}
+
+TEST(FlowAnalysis, StackAwareAliasing) {
+  // Section 7.5 in the dual setting: the parameter's least solution
+  // contains the pair *terms* from each call site. Distinct argument
+  // pairs have disjoint term sets even though a context-insensitive
+  // points-to view would conflate their contents.
+  const char *Src = R"(
+f (p : (int, int)) : int = 0;
+main (z : int) : int = (f((1, 2)), f((3, 4))).1;
+)";
+  std::string Err;
+  std::optional<FlowProgram> P = FlowProgram::parse(Src, &Err);
+  ASSERT_TRUE(P) << Err;
+
+  // The two literal-pair argument expressions.
+  std::vector<FExprId> Pairs;
+  for (FExprId E = 0; E != P->numExprs(); ++E) {
+    const FExpr &Ex = P->expr(E);
+    if (Ex.Kind == FExpr::MkPair &&
+        P->expr(Ex.Kid0).Kind == FExpr::Lit &&
+        P->expr(Ex.Kid1).Kind == FExpr::Lit)
+      Pairs.push_back(E);
+  }
+  ASSERT_EQ(Pairs.size(), 2u);
+
+  FlowAnalysis FA(*P, FlowMode::Dual);
+  VarId Param = FA.paramLabel(0);
+  // The parameter's solution intersects each argument's solution...
+  EXPECT_TRUE(FA.mayAlias(Param, FA.labelOf(Pairs[0])));
+  EXPECT_TRUE(FA.mayAlias(Param, FA.labelOf(Pairs[1])));
+  // ...but the two arguments do not alias each other: their terms
+  // differ in the constants at the leaves.
+  EXPECT_FALSE(FA.mayAlias(FA.labelOf(Pairs[0]), FA.labelOf(Pairs[1])));
+}
+
+/// Random well-typed programs: the primal and dual analyses must agree
+/// on every matched flow query when the program is recursion-free.
+class FlowDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+struct ProgramBuilder {
+  FlowProgram P = FlowProgram::empty();
+  Rng R;
+  std::vector<TypeId> TypePool;
+
+  explicit ProgramBuilder(uint64_t Seed) : R(Seed) {
+    TypeId I = P.intType();
+    TypePool = {I, P.pairType(I, I)};
+    if (R.chance(1, 2))
+      TypePool.push_back(P.pairType(TypePool[1], I));
+  }
+
+  TypeId randType() { return TypePool[R.below(TypePool.size())]; }
+
+  /// Builds an expression of exactly \p Want; may call only functions
+  /// with index < NumCallable (ensuring a DAG call graph).
+  FExprId build(TypeId Want, const FFunc &Ctx, size_t NumCallable,
+                unsigned Depth) {
+    const FType &Ty = P.type(Want);
+    // Base cases.
+    if (Depth == 0 || R.chance(1, 4)) {
+      if (Want == Ctx.ParamTy && R.chance(1, 2)) {
+        FExpr E;
+        E.Kind = FExpr::Var;
+        E.Name = Ctx.Param;
+        return P.addExpr(std::move(E));
+      }
+      if (Ty.Kind == FType::Int) {
+        FExpr E;
+        E.Kind = FExpr::Lit;
+        E.LitValue = static_cast<long>(R.below(100));
+        return P.addExpr(std::move(E));
+      }
+    }
+    // Calls to already-built functions of the right return type.
+    if (NumCallable > 0 && R.chance(1, 4)) {
+      std::vector<FFuncId> Fits;
+      for (FFuncId F = 0; F != NumCallable; ++F)
+        if (P.functions()[F].RetTy == Want)
+          Fits.push_back(F);
+      if (!Fits.empty()) {
+        FFuncId Callee = Fits[R.below(Fits.size())];
+        FExpr E;
+        E.Kind = FExpr::Call;
+        E.Name = P.functions()[Callee].Name;
+        E.Kid0 = build(P.functions()[Callee].ParamTy, Ctx, NumCallable,
+                       Depth > 0 ? Depth - 1 : 0);
+        return P.addExpr(std::move(E));
+      }
+    }
+    if (Ty.Kind == FType::Pair && Depth > 0) {
+      FExpr E;
+      E.Kind = FExpr::MkPair;
+      E.Kid0 = build(Ty.A, Ctx, NumCallable, Depth - 1);
+      E.Kid1 = build(Ty.B, Ctx, NumCallable, Depth - 1);
+      return P.addExpr(std::move(E));
+    }
+    if (Depth > 0 && R.chance(1, 3)) {
+      // Build a pair around Want and project it back out.
+      TypeId Other = randType();
+      bool First = R.chance(1, 2);
+      TypeId PairTy = First ? P.pairType(Want, Other)
+                            : P.pairType(Other, Want);
+      FExpr Inner;
+      Inner.Kind = FExpr::MkPair;
+      Inner.Kid0 = build(First ? Want : Other, Ctx, NumCallable, Depth - 1);
+      Inner.Kid1 = build(First ? Other : Want, Ctx, NumCallable, Depth - 1);
+      (void)PairTy;
+      FExprId InnerId = P.addExpr(std::move(Inner));
+      FExpr Proj;
+      Proj.Kind = FExpr::Proj;
+      Proj.ProjIdx = First ? 0 : 1;
+      Proj.Kid0 = InnerId;
+      return P.addExpr(std::move(Proj));
+    }
+    // Fall back to a literal / literal pair of the right shape.
+    if (Ty.Kind == FType::Int) {
+      FExpr E;
+      E.Kind = FExpr::Lit;
+      E.LitValue = static_cast<long>(R.below(100));
+      return P.addExpr(std::move(E));
+    }
+    FExpr E;
+    E.Kind = FExpr::MkPair;
+    E.Kid0 = build(Ty.A, Ctx, NumCallable, 0);
+    E.Kid1 = build(Ty.B, Ctx, NumCallable, 0);
+    return P.addExpr(std::move(E));
+  }
+
+  FlowProgram generate() {
+    unsigned NumFuncs = 2 + static_cast<unsigned>(R.below(3));
+    for (unsigned I = 0; I != NumFuncs; ++I) {
+      FFunc Proto;
+      Proto.Name = "f" + std::to_string(I);
+      Proto.Param = "x";
+      Proto.ParamTy = randType();
+      Proto.RetTy = randType();
+      FExprId Body =
+          build(Proto.RetTy, Proto, /*NumCallable=*/I, /*Depth=*/3);
+      P.addFunction(Proto.Name, Proto.Param, Proto.ParamTy, Proto.RetTy,
+                    Body);
+    }
+    return std::move(P);
+  }
+};
+
+TEST_P(FlowDifferential, PrimalEqualsDualOnRecursionFreePrograms) {
+  ProgramBuilder B(GetParam());
+  FlowProgram P = B.generate();
+  std::string Err;
+  ASSERT_TRUE(P.typecheck(&Err)) << Err;
+
+  FlowAnalysis Primal(P, FlowMode::Primal);
+  FlowAnalysis Dual(P, FlowMode::Dual);
+
+  // Query every literal against every function's body result and
+  // parameter label... the body expressions of all functions.
+  std::vector<FExprId> Targets;
+  for (const FFunc &F : P.functions())
+    Targets.push_back(F.Body);
+  for (FExprId E = 0; E != P.numExprs(); ++E)
+    if (P.expr(E).Kind == FExpr::Proj || P.expr(E).Kind == FExpr::Call)
+      Targets.push_back(E);
+
+  for (FExprId Lit : P.literals())
+    for (FExprId T : Targets) {
+      EXPECT_EQ(Primal.flows(Lit, T), Dual.flows(Lit, T))
+          << "lit " << Lit << " -> " << T << " seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, FlowDifferential,
+                         ::testing::Range(uint64_t(1), uint64_t(60)));
+
+} // namespace

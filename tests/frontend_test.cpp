@@ -1,0 +1,185 @@
+//===- tests/frontend_test.cpp - Constraint file frontend -------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/ConstraintParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rasc;
+
+namespace {
+
+/// Example 2.4 as a constraint file, over the 1-bit language given as
+/// a regex: strings of g/k whose net effect sets the bit.
+const char *Example24File = R"(
+# Example 2.4 from the paper.
+language regex "(g | k)* g";
+
+constant c;
+constructor o 1;
+var W X Y Z;
+
+c <= [g] W;
+o(W) <= [g] X;
+X <= o(Y);
+o(Y) <= Z;
+
+query c in W;          # holds: f_g accepting
+query c in Y;          # holds: derived c ⊆^{f_g} Y
+query c in Z;          # does not hold: only o-terms are in Z
+query pn c in Z;       # holds: c occurs inside o(...) with f_g
+)";
+
+TEST(Frontend, Example24EndToEnd) {
+  std::string Err;
+  std::optional<ConstraintProgram> P =
+      ConstraintProgram::parse(Example24File, &Err);
+  ASSERT_TRUE(P) << Err;
+  ASSERT_EQ(P->queries().size(), 4u);
+  EXPECT_EQ(P->system().constraints().size(), 4u);
+
+  SolverStats Stats;
+  auto Answers = P->solveAndAnswer({}, &Stats);
+  ASSERT_EQ(Answers.size(), 4u);
+  EXPECT_TRUE(Answers[0].Holds);
+  EXPECT_TRUE(Answers[1].Holds);
+  EXPECT_FALSE(Answers[2].Holds);
+  EXPECT_TRUE(Answers[3].Holds);
+  EXPECT_GT(Stats.EdgesInserted, 0u);
+}
+
+TEST(Frontend, SpecBlockLanguage) {
+  const char *Text = R"(
+language {
+  start state A :
+    | go -> B;
+  accept state B :
+    | go -> B;
+}
+constant c;
+var X Y;
+c <= X;
+X <= [go] Y;
+query c in X;
+query c in Y;
+)";
+  std::string Err;
+  std::optional<ConstraintProgram> P =
+      ConstraintProgram::parse(Text, &Err);
+  ASSERT_TRUE(P) << Err;
+  auto Answers = P->solveAndAnswer();
+  ASSERT_EQ(Answers.size(), 2u);
+  EXPECT_FALSE(Answers[0].Holds); // epsilon not in L
+  EXPECT_TRUE(Answers[1].Holds);
+}
+
+TEST(Frontend, ProjectionSyntax) {
+  const char *Text = R"(
+language regex "g?";
+constant a;
+constant b;
+constructor pair 2;
+var A B P Z;
+a <= A;
+b <= B;
+pair(A, B) <= P;
+proj pair 2 P <= Z;
+query a in Z;
+query b in Z;
+)";
+  std::string Err;
+  std::optional<ConstraintProgram> P =
+      ConstraintProgram::parse(Text, &Err);
+  ASSERT_TRUE(P) << Err;
+  auto Answers = P->solveAndAnswer();
+  ASSERT_EQ(Answers.size(), 2u);
+  EXPECT_FALSE(Answers[0].Holds);
+  EXPECT_TRUE(Answers[1].Holds);
+}
+
+TEST(Frontend, Errors) {
+  std::string Err;
+
+  Err.clear();
+  EXPECT_FALSE(ConstraintProgram::parse("var X;", &Err));
+  EXPECT_NE(Err.find("language"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(
+      ConstraintProgram::parse("language regex \"g\"; x <= y;", &Err));
+  EXPECT_NE(Err.find("unknown"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(ConstraintProgram::parse(
+      "language regex \"g\";\nvar X;\nvar X;", &Err));
+  EXPECT_NE(Err.find("already declared"), std::string::npos);
+  EXPECT_NE(Err.find("line 3"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(ConstraintProgram::parse(
+      "language regex \"g\";\nconstructor o 1;\nvar X Y;\no() <= Y;",
+      &Err));
+  EXPECT_FALSE(Err.empty());
+
+  Err.clear();
+  EXPECT_FALSE(ConstraintProgram::parse(
+      "language regex \"g\";\nconstant c;\nvar X;\nc <= [nosuch] X;",
+      &Err));
+  EXPECT_NE(Err.find("not a symbol"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(ConstraintProgram::parse(
+      "language regex \"g\";\nconstructor o 1;\nvar X;\n"
+      "proj o 2 X <= X;",
+      &Err));
+  EXPECT_NE(Err.find("out of range"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(ConstraintProgram::parse(
+      "language { start state A; }", &Err));
+  EXPECT_NE(Err.find("language block"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(ConstraintProgram::parse(
+      "language regex \"((\"; ", &Err));
+  EXPECT_NE(Err.find("regex"), std::string::npos);
+}
+
+TEST(Frontend, InconsistentSystemStillAnswers) {
+  // A constructor mismatch reached through a variable is legal input;
+  // the solver flags it and queries still evaluate.
+  const char *Text = R"(
+language regex "g";
+constructor a 1;
+constructor b 1;
+constant c;
+var X M Y;
+c <= X;
+a(X) <= M;
+M <= b(Y);
+query c in Y;
+)";
+  std::string Err;
+  std::optional<ConstraintProgram> P =
+      ConstraintProgram::parse(Text, &Err);
+  ASSERT_TRUE(P) << Err;
+  auto Answers = P->solveAndAnswer();
+  ASSERT_EQ(Answers.size(), 1u);
+  EXPECT_FALSE(Answers[0].Holds);
+}
+
+TEST(Frontend, NamesResolve) {
+  std::string Err;
+  std::optional<ConstraintProgram> P = ConstraintProgram::parse(
+      "language regex \"g\";\nconstant c;\nvar X;\nc <= X;", &Err);
+  ASSERT_TRUE(P) << Err;
+  EXPECT_TRUE(P->varByName("X").has_value());
+  EXPECT_TRUE(P->consByName("c").has_value());
+  EXPECT_FALSE(P->varByName("nope").has_value());
+  EXPECT_FALSE(P->consByName("nope").has_value());
+}
+
+} // namespace

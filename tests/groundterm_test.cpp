@@ -1,0 +1,95 @@
+//===- tests/groundterm_test.cpp - Ground term tests ------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Machines.h"
+#include "core/Domains.h"
+#include "core/GroundTerm.h"
+#include "core/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace rasc;
+
+namespace {
+
+TEST(GroundTerm, AppendComposesAtEveryLevel) {
+  MonoidDomain Dom(buildOneBitMachine());
+  AnnId G = Dom.symbolAnn("g");
+  AnnId K = Dom.symbolAnn("k");
+
+  // t = o^g(c^k); t . g appends g at both levels.
+  GroundTerm T{1, G, {GroundTerm{0, K, {}}}};
+  GroundTerm TG = appendAnn(Dom, T, G);
+  EXPECT_EQ(TG.Ann, Dom.compose(G, G)); // f_g
+  ASSERT_EQ(TG.Kids.size(), 1u);
+  EXPECT_EQ(TG.Kids[0].Ann, Dom.compose(G, K)); // f_g ∘ f_k = f_g
+}
+
+TEST(GroundTerm, SkeletonIgnoresAnnotations) {
+  GroundTerm A{1, 0, {GroundTerm{0, 1, {}}}};
+  GroundTerm B{1, 2, {GroundTerm{0, 3, {}}}};
+  GroundTerm C{1, 0, {GroundTerm{2, 1, {}}}};
+  GroundTerm D{1, 0, {}};
+  EXPECT_TRUE(sameSkeleton(A, B));
+  EXPECT_FALSE(sameSkeleton(A, C)); // different leaf constructor
+  EXPECT_FALSE(sameSkeleton(A, D)); // different arity usage
+}
+
+TEST(GroundTerm, ToStringRendersNesting) {
+  TrivialDomain Dom;
+  ConstraintSystem CS(Dom);
+  ConsId K = CS.addConstant("k");
+  ConsId O = CS.addConstructor("o", 1);
+  GroundTerm T{O, 0, {GroundTerm{K, 0, {}}}};
+  std::string S = toString(CS, T);
+  EXPECT_NE(S.find("o^"), std::string::npos);
+  EXPECT_NE(S.find("(k^"), std::string::npos);
+}
+
+TEST(GroundTerm, EnumerationRespectsDepthAndCount) {
+  TrivialDomain Dom;
+  ConstraintSystem CS(Dom);
+  ConsId K = CS.addConstant("k");
+  ConsId O = CS.addConstructor("o", 1);
+  VarId X = CS.freshVar(), Y = CS.freshVar();
+  CS.add(CS.cons(K), CS.var(X));
+  CS.add(CS.cons(O, {X}), CS.var(X)); // X grows unboundedly: o(o(...k))
+  CS.add(CS.var(X), CS.var(Y));
+  BidirectionalSolver S(CS);
+  ASSERT_EQ(S.solve(), BidirectionalSolver::Status::Solved);
+
+  // Depth 0: only the constant.
+  std::vector<GroundTerm> D0 = S.groundTerms(Y, 0);
+  ASSERT_EQ(D0.size(), 1u);
+  EXPECT_EQ(D0[0].C, K);
+
+  // Depth 2: k, o(k) — the self-recursive o(X) bound is cut by the
+  // visiting guard, so enumeration terminates.
+  std::vector<GroundTerm> D2 = S.groundTerms(Y, 2);
+  EXPECT_GE(D2.size(), 2u);
+  bool SawWrapped = false;
+  for (const GroundTerm &T : D2)
+    SawWrapped |= T.C == O && T.Kids.size() == 1 && T.Kids[0].C == K;
+  EXPECT_TRUE(SawWrapped);
+
+  // The count cap truncates.
+  EXPECT_LE(S.groundTerms(Y, 8, 3).size(), 3u);
+}
+
+TEST(GroundTerm, EmptyComponentSuppressesConstruction) {
+  // o(E) with E empty contributes no terms (bottom components are not
+  // materialized; see Solver.h).
+  TrivialDomain Dom;
+  ConstraintSystem CS(Dom);
+  ConsId O = CS.addConstructor("o", 1);
+  VarId E = CS.freshVar(), Y = CS.freshVar();
+  CS.add(CS.cons(O, {E}), CS.var(Y));
+  BidirectionalSolver S(CS);
+  ASSERT_EQ(S.solve(), BidirectionalSolver::Status::Solved);
+  EXPECT_TRUE(S.groundTerms(Y, 4).empty());
+}
+
+} // namespace

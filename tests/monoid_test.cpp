@@ -1,0 +1,185 @@
+//===- tests/monoid_test.cpp - Transition monoid tests ----------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/DfaOps.h"
+#include "automata/Machines.h"
+#include "automata/Monoid.h"
+#include "automata/RegexParser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace rasc;
+
+namespace {
+
+TEST(Monoid, OneBitHasThreeFunctions) {
+  // Paper Section 3.3: F_M^≡ = {f_eps, f_g, f_k} for the 1-bit
+  // language, because f_g ∘ f_g = f_g, f_k ∘ f_g = f_k, and so on.
+  Dfa M = buildOneBitMachine();
+  TransitionMonoid Mon(M);
+  EXPECT_EQ(Mon.size(), 3u);
+
+  FnId Fg = Mon.symbolFn(*M.symbol("g"));
+  FnId Fk = Mon.symbolFn(*M.symbol("k"));
+  EXPECT_EQ(Mon.compose(Fg, Fg), Fg);
+  EXPECT_EQ(Mon.compose(Fk, Fg), Fk);
+  EXPECT_EQ(Mon.compose(Fg, Fk), Fg);
+  EXPECT_EQ(Mon.compose(Mon.identity(), Fg), Fg);
+
+  // f_g is accepting from the start state (word "g" is in L), f_k and
+  // identity are not.
+  EXPECT_TRUE(Mon.acceptingFromStart(Fg));
+  EXPECT_FALSE(Mon.acceptingFromStart(Fk));
+  EXPECT_FALSE(Mon.acceptingFromStart(Mon.identity()));
+}
+
+TEST(Monoid, WordFnMatchesRun) {
+  Dfa M = buildFileStateMachine();
+  TransitionMonoid Mon(M);
+  Rng R(7);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Word W;
+    size_t Len = R.below(8);
+    for (size_t I = 0; I != Len; ++I)
+      W.push_back(static_cast<SymbolId>(R.below(M.numSymbols())));
+    FnId F = Mon.wordFn(W);
+    for (StateId S = 0; S != M.numStates(); ++S)
+      EXPECT_EQ(Mon.apply(F, S), M.run(W, S));
+    EXPECT_EQ(Mon.acceptingFromStart(F), M.accepts(W));
+  }
+}
+
+TEST(Monoid, CongruenceIsSound) {
+  // If two words map to the same representative function then for all
+  // x, y: xwy in L iff xw'y in L (Theorem 2.1 / definition of ≡_M).
+  std::string Err;
+  std::optional<Dfa> M = compileRegex("(a b | b a)* a", {}, &Err);
+  ASSERT_TRUE(M) << Err;
+  TransitionMonoid Mon(*M);
+  Rng R(99);
+  auto randWord = [&](size_t MaxLen) {
+    Word W;
+    size_t Len = R.below(MaxLen + 1);
+    for (size_t I = 0; I != Len; ++I)
+      W.push_back(static_cast<SymbolId>(R.below(M->numSymbols())));
+    return W;
+  };
+  for (int Trial = 0; Trial != 300; ++Trial) {
+    Word W1 = randWord(6), W2 = randWord(6);
+    if (Mon.wordFn(W1) != Mon.wordFn(W2))
+      continue;
+    for (int Ctx = 0; Ctx != 20; ++Ctx) {
+      Word X = randWord(4), Y = randWord(4);
+      Word XW1Y = X, XW2Y = X;
+      XW1Y.insert(XW1Y.end(), W1.begin(), W1.end());
+      XW1Y.insert(XW1Y.end(), Y.begin(), Y.end());
+      XW2Y.insert(XW2Y.end(), W2.begin(), W2.end());
+      XW2Y.insert(XW2Y.end(), Y.begin(), Y.end());
+      EXPECT_EQ(M->accepts(XW1Y), M->accepts(XW2Y));
+    }
+  }
+}
+
+TEST(Monoid, AssociativityAndIdentity) {
+  Dfa M = buildAdversarialMachine(3);
+  TransitionMonoid Mon(M);
+  size_t N = Mon.size();
+  ASSERT_EQ(N, 27u); // 3^3 functions
+  for (FnId F = 0; F != N; ++F) {
+    EXPECT_EQ(Mon.compose(F, Mon.identity()), F);
+    EXPECT_EQ(Mon.compose(Mon.identity(), F), F);
+  }
+  Rng R(1);
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    FnId F = static_cast<FnId>(R.below(N));
+    FnId G = static_cast<FnId>(R.below(N));
+    FnId H = static_cast<FnId>(R.below(N));
+    EXPECT_EQ(Mon.compose(Mon.compose(F, G), H),
+              Mon.compose(F, Mon.compose(G, H)));
+  }
+}
+
+TEST(Monoid, AdversarialGrowthIsSuperexponential) {
+  // Figure 2: rotate/swap/merge generate all |S|^|S| functions.
+  for (unsigned N = 2; N <= 5; ++N) {
+    Dfa M = buildAdversarialMachine(N);
+    TransitionMonoid Mon(M);
+    size_t Expected = 1;
+    for (unsigned I = 0; I != N; ++I)
+      Expected *= N;
+    EXPECT_EQ(Mon.size(), Expected) << "N=" << N;
+    EXPECT_FALSE(Mon.overflowed());
+  }
+}
+
+TEST(Monoid, OverflowCapIsHonored) {
+  Dfa M = buildAdversarialMachine(6); // 6^6 = 46656 elements
+  TransitionMonoid::Options Opts;
+  Opts.MaxElements = 1000;
+  TransitionMonoid Mon(M, Opts);
+  EXPECT_TRUE(Mon.overflowed());
+  EXPECT_LE(Mon.size(), 1001u);
+}
+
+TEST(Monoid, UselessDetection) {
+  // For "a b c": the function of word "c a" maps every state to the
+  // dead state (no extension is in L), so it is useless; "b" is not.
+  std::string Err;
+  std::optional<Dfa> M = compileRegex("a b c", {}, &Err);
+  ASSERT_TRUE(M) << Err;
+  TransitionMonoid Mon(*M);
+  Word CA{*M->symbol("c"), *M->symbol("a")};
+  Word B{*M->symbol("b")};
+  EXPECT_TRUE(Mon.isUseless(Mon.wordFn(CA)));
+  EXPECT_FALSE(Mon.isUseless(Mon.wordFn(B)));
+  EXPECT_FALSE(Mon.isUseless(Mon.identity()));
+}
+
+TEST(Monoid, SampleWordsRoundTrip) {
+  // wordFn(sampleWord(F)) == F for every element; the identity's
+  // sample word is empty.
+  for (unsigned N : {2u, 3u, 4u}) {
+    Dfa M = buildAdversarialMachine(N);
+    TransitionMonoid Mon(M);
+    EXPECT_TRUE(Mon.sampleWord(Mon.identity()).empty());
+    for (FnId F = 0; F != Mon.size(); ++F) {
+      Word W = Mon.sampleWord(F);
+      EXPECT_EQ(Mon.wordFn(W), F) << "N=" << N << " F=" << F;
+    }
+  }
+}
+
+TEST(Monoid, DenseAndMemoAgree) {
+  Dfa M = buildAdversarialMachine(4); // 256 elements
+  TransitionMonoid::Options Dense, Memo;
+  Dense.DenseTableLimit = 4096;
+  Memo.DenseTableLimit = 0;
+  TransitionMonoid DenseMon(M, Dense), MemoMon(M, Memo);
+  ASSERT_EQ(DenseMon.size(), MemoMon.size());
+  Rng R(5);
+  for (int Trial = 0; Trial != 2000; ++Trial) {
+    FnId F = static_cast<FnId>(R.below(DenseMon.size()));
+    FnId G = static_cast<FnId>(R.below(DenseMon.size()));
+    EXPECT_EQ(DenseMon.compose(F, G), MemoMon.compose(F, G));
+  }
+}
+
+TEST(Monoid, NBitMachineMonoidIsPowOfThree) {
+  // Section 3.3 / Section 4: the n-bit language needs 3^n
+  // representative functions (id/set/reset per bit), exploiting order
+  // independence of distinct bits automatically.
+  for (unsigned Bits = 1; Bits <= 3; ++Bits) {
+    Dfa M = minimize(buildNBitMachine(Bits));
+    TransitionMonoid Mon(M);
+    size_t Expected = 1;
+    for (unsigned I = 0; I != Bits; ++I)
+      Expected *= 3;
+    EXPECT_EQ(Mon.size(), Expected) << "bits=" << Bits;
+  }
+}
+
+} // namespace

@@ -1,0 +1,311 @@
+//===- tests/pdmc_test.cpp - Pushdown model checking tests ------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Monoid.h"
+#include "pdmc/Checker.h"
+#include "pdmc/Properties.h"
+#include "progen/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace rasc;
+
+namespace {
+
+/// The Section 6.3 example:
+///   s1: seteuid(0);
+///   s2: if (...) { s3: seteuid(getuid()); } else { s4: ... }
+///   s5: execl("/bin/sh", ...);
+struct Section63 {
+  Program P;
+  StmtId S1, S2, S3, S4, S5, S6;
+
+  Section63() {
+    FuncId Main = P.addFunction("main");
+    S1 = P.addOp(Main, "seteuid_zero", {}, "seteuid(0)");
+    S2 = P.addNop(Main, "if (...)");
+    S3 = P.addOp(Main, "seteuid_nonzero", {}, "seteuid(getuid())");
+    S4 = P.addNop(Main, "else");
+    S5 = P.addOp(Main, "execl", {}, "execl(\"/bin/sh\")");
+    S6 = P.addNop(Main, "after");
+    P.addEdge(P.entry(Main), S1);
+    P.addEdge(S1, S2);
+    P.addEdge(S2, S3);
+    P.addEdge(S2, S4);
+    P.addEdge(S3, S5);
+    P.addEdge(S4, S5);
+    P.addEdge(S5, S6);
+    P.finalize();
+  }
+};
+
+TEST(Pdmc, Section63ViolationFound) {
+  Section63 E;
+  SpecAutomaton Spec = simplePrivilegeSpec();
+  RascChecker C(E.P, Spec);
+  std::vector<Violation> V = C.check();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].Where, E.S5); // the execl is the violation
+  EXPECT_TRUE(V[0].CallStack.empty());
+}
+
+TEST(Pdmc, Section63EventTrace) {
+  // The violation's event trace is the property-relevant word of a
+  // violating path: seteuid_zero then execl.
+  Section63 E;
+  SpecAutomaton Spec = simplePrivilegeSpec();
+  RascChecker C(E.P, Spec);
+  std::vector<Violation> V = C.check();
+  ASSERT_EQ(V.size(), 1u);
+  ASSERT_EQ(V[0].EventTrace.size(), 2u);
+  EXPECT_EQ(V[0].EventTrace[0], "seteuid_zero");
+  EXPECT_EQ(V[0].EventTrace[1], "execl");
+}
+
+TEST(Pdmc, Section63MopsAgrees) {
+  Section63 E;
+  SpecAutomaton Spec = simplePrivilegeSpec();
+  MopsChecker C(E.P, Spec);
+  std::vector<Violation> V = C.check();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].Where, E.S5);
+}
+
+TEST(Pdmc, FixedProgramHasNoViolation) {
+  // Dropping privileges on *both* branches fixes the program.
+  Program P;
+  FuncId Main = P.addFunction("main");
+  StmtId S1 = P.addOp(Main, "seteuid_zero");
+  StmtId S3 = P.addOp(Main, "seteuid_nonzero");
+  StmtId S4 = P.addOp(Main, "seteuid_nonzero");
+  StmtId S5 = P.addOp(Main, "execl");
+  P.addEdge(P.entry(Main), S1);
+  P.addEdge(S1, S3);
+  P.addEdge(S1, S4);
+  P.addEdge(S3, S5);
+  P.addEdge(S4, S5);
+  P.finalize();
+
+  SpecAutomaton Spec = simplePrivilegeSpec();
+  EXPECT_TRUE(RascChecker(P, Spec).check().empty());
+  EXPECT_TRUE(MopsChecker(P, Spec).check().empty());
+}
+
+TEST(Pdmc, InterproceduralViolationWithWitnessStack) {
+  // main calls helper; helper acquires privilege; main then calls
+  // runShell which execs. The privilege state flows across calls and
+  // returns (matched call/return paths).
+  Program P;
+  FuncId Main = P.addFunction("main");
+  FuncId Helper = P.addFunction("helper");
+  FuncId Shell = P.addFunction("runShell");
+
+  StmtId CallHelper = P.addCall(Main, Helper);
+  StmtId CallShell = P.addCall(Main, Shell);
+  P.addEdge(P.entry(Main), CallHelper);
+  P.addEdge(CallHelper, CallShell);
+
+  StmtId Acquire = P.addOp(Helper, "seteuid_zero");
+  P.addEdge(P.entry(Helper), Acquire);
+
+  StmtId Exec = P.addOp(Shell, "execl");
+  P.addEdge(P.entry(Shell), Exec);
+  P.finalize();
+
+  SpecAutomaton Spec = simplePrivilegeSpec();
+  RascChecker C(P, Spec);
+  std::vector<Violation> V = C.check();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].Where, Exec);
+  // The exec happens inside runShell, called (and not yet returned)
+  // from main.
+  ASSERT_EQ(V[0].CallStack.size(), 1u);
+  EXPECT_EQ(V[0].CallStack[0], CallShell);
+
+  MopsChecker M(P, Spec);
+  std::vector<Violation> VM = M.check();
+  ASSERT_EQ(VM.size(), 1u);
+  EXPECT_EQ(VM[0].Where, Exec);
+  ASSERT_EQ(VM[0].CallStack.size(), 1u);
+  EXPECT_EQ(VM[0].CallStack[0], CallShell);
+}
+
+TEST(Pdmc, PrivilegeDropInCalleeIsRespected) {
+  // helper drops privilege before main execs: no violation.
+  Program P;
+  FuncId Main = P.addFunction("main");
+  FuncId Helper = P.addFunction("drop");
+  StmtId Acquire = P.addOp(Main, "seteuid_zero");
+  StmtId CallDrop = P.addCall(Main, Helper);
+  StmtId Exec = P.addOp(Main, "execl");
+  P.addEdge(P.entry(Main), Acquire);
+  P.addEdge(Acquire, CallDrop);
+  P.addEdge(CallDrop, Exec);
+  StmtId Drop = P.addOp(Helper, "seteuid_nonzero");
+  P.addEdge(P.entry(Helper), Drop);
+  P.finalize();
+
+  SpecAutomaton Spec = simplePrivilegeSpec();
+  EXPECT_TRUE(RascChecker(P, Spec).check().empty());
+  EXPECT_TRUE(MopsChecker(P, Spec).check().empty());
+}
+
+TEST(Pdmc, ParametricFileState) {
+  // Figure 6 plus a double open of fd1: open(fd1); open(fd2);
+  // close(fd1); open(fd1) is fine, but a second open(fd2) is a
+  // violation for fd2 only.
+  Program P;
+  FuncId Main = P.addFunction("main");
+  StmtId O1 = P.addOp(Main, "open", {"fd1"});
+  StmtId O2 = P.addOp(Main, "open", {"fd2"});
+  StmtId C1 = P.addOp(Main, "close", {"fd1"});
+  StmtId O2b = P.addOp(Main, "open", {"fd2"});
+  P.addEdge(P.entry(Main), O1);
+  P.addEdge(O1, O2);
+  P.addEdge(O2, C1);
+  P.addEdge(C1, O2b);
+  P.finalize();
+
+  SpecAutomaton Spec = fileStateSpec();
+  RascChecker C(P, Spec);
+  std::vector<Violation> V = C.check();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].Where, O2b);
+  EXPECT_EQ(V[0].Instantiation, "x:fd2");
+
+  MopsChecker M(P, Spec);
+  std::vector<Violation> VM = M.check();
+  ASSERT_EQ(VM.size(), 1u);
+  EXPECT_EQ(VM[0].Where, O2b);
+  EXPECT_EQ(VM[0].Instantiation, "x:fd2");
+}
+
+TEST(Pdmc, FullPrivilegeModelShape) {
+  SpecAutomaton Spec = fullPrivilegeSpec();
+  // 11 states, 9 symbols, as reported for Property 1 in the paper's
+  // Section 8.
+  EXPECT_EQ(Spec.machine().numStates(), 11u);
+  EXPECT_EQ(Spec.machine().numSymbols(), 9u);
+
+  // The representative function set stays far below the
+  // superexponential worst case (the paper's automaton had 58).
+  TransitionMonoid Mon(Spec.machine());
+  EXPECT_LT(Mon.size(), 500u);
+  EXPECT_GT(Mon.size(), 10u);
+}
+
+TEST(Pdmc, FullPrivilegeModelCatchesTemporaryDropBug) {
+  // seteuid(user) only drops temporarily: a later seteuid(0) regains
+  // root, so exec after regaining is flagged, while exec after a
+  // permanent drop (setuid_user) is safe.
+  SpecAutomaton Spec = fullPrivilegeSpec();
+
+  Program P;
+  FuncId Main = P.addFunction("main");
+  StmtId TempDrop = P.addOp(Main, "seteuid_user");
+  StmtId Regain = P.addOp(Main, "seteuid_zero");
+  StmtId Exec = P.addOp(Main, "execl");
+  P.addEdge(P.entry(Main), TempDrop);
+  P.addEdge(TempDrop, Regain);
+  P.addEdge(Regain, Exec);
+  P.finalize();
+  std::vector<Violation> V = RascChecker(P, Spec).check();
+  ASSERT_EQ(V.size(), 1u);
+  EXPECT_EQ(V[0].Where, Exec);
+
+  Program Q;
+  FuncId Main2 = Q.addFunction("main");
+  StmtId PermDrop = Q.addOp(Main2, "setuid_user");
+  StmtId Regain2 = Q.addOp(Main2, "seteuid_zero"); // no saved root
+  StmtId Exec2 = Q.addOp(Main2, "execl");
+  Q.addEdge(Q.entry(Main2), PermDrop);
+  Q.addEdge(PermDrop, Regain2);
+  Q.addEdge(Regain2, Exec2);
+  Q.finalize();
+  EXPECT_TRUE(RascChecker(Q, Spec).check().empty());
+}
+
+/// Differential test: the annotated-constraint checker and the MOPS
+/// pushdown baseline agree on random programs.
+class PdmcDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PdmcDifferential, RascAgreesWithMops) {
+  SpecAutomaton Spec = simplePrivilegeSpec();
+  ProgGenOptions O;
+  O.Seed = GetParam();
+  O.NumFunctions = 3 + GetParam() % 4;
+  O.StmtsPerFunction = 8 + GetParam() % 10;
+  O.OpSymbols = {"seteuid_zero", "seteuid_nonzero", "execl"};
+  O.OpPermille = 200;
+  Program P = generateProgram(O);
+
+  std::vector<Violation> VR = RascChecker(P, Spec).check();
+  std::vector<Violation> VM = MopsChecker(P, Spec).check();
+
+  auto Wheres = [](const std::vector<Violation> &V) {
+    std::vector<StmtId> W;
+    for (const Violation &X : V)
+      W.push_back(X.Where);
+    std::sort(W.begin(), W.end());
+    W.erase(std::unique(W.begin(), W.end()), W.end());
+    return W;
+  };
+  EXPECT_EQ(Wheres(VR), Wheres(VM)) << "seed " << GetParam();
+}
+
+TEST_P(PdmcDifferential, FullModelAgreesToo) {
+  SpecAutomaton Spec = fullPrivilegeSpec();
+  Program P = generatePackage(400 + 40 * GetParam(), Spec,
+                              GetParam() * 7919);
+
+  std::vector<Violation> VR = RascChecker(P, Spec).check();
+  std::vector<Violation> VM = MopsChecker(P, Spec).check();
+  std::vector<Violation> VF =
+      RascChecker(P, Spec, SolveStrategy::Forward).check();
+  auto Wheres = [](const std::vector<Violation> &V) {
+    std::vector<StmtId> W;
+    for (const Violation &X : V)
+      W.push_back(X.Where);
+    std::sort(W.begin(), W.end());
+    W.erase(std::unique(W.begin(), W.end()), W.end());
+    return W;
+  };
+  EXPECT_EQ(Wheres(VR), Wheres(VM)) << "seed " << GetParam();
+  // The Section 5 forward strategy answers the same queries.
+  EXPECT_EQ(Wheres(VR), Wheres(VF)) << "seed " << GetParam();
+}
+
+TEST_P(PdmcDifferential, ParametricAgreement) {
+  SpecAutomaton Spec = fileStateSpec();
+  ProgGenOptions O;
+  O.Seed = GetParam() ^ 0xf11e;
+  O.NumFunctions = 2 + GetParam() % 3;
+  O.StmtsPerFunction = 6 + GetParam() % 8;
+  O.OpSymbols = {"open", "close"};
+  O.ParametricSymbols = {"open", "close"};
+  O.Labels = {"fd1", "fd2"};
+  O.OpPermille = 250;
+  Program P = generateProgram(O);
+
+  std::vector<Violation> VR = RascChecker(P, Spec).check();
+  std::vector<Violation> VM = MopsChecker(P, Spec).check();
+  auto Keyed = [](const std::vector<Violation> &V) {
+    std::vector<std::pair<StmtId, std::string>> W;
+    for (const Violation &X : V)
+      W.emplace_back(X.Where, X.Instantiation);
+    std::sort(W.begin(), W.end());
+    W.erase(std::unique(W.begin(), W.end()), W.end());
+    return W;
+  };
+  EXPECT_EQ(Keyed(VR), Keyed(VM)) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PdmcDifferential,
+                         ::testing::Range(uint64_t(1), uint64_t(40)));
+
+} // namespace

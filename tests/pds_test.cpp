@@ -1,0 +1,223 @@
+//===- tests/pds_test.cpp - Pushdown reachability tests ---------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pds/Pds.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <set>
+
+using namespace rasc;
+
+namespace {
+
+/// Brute-force reachability: explores configurations by direct rule
+/// application, bounded by stack depth and step count.
+std::set<std::pair<PdsState, std::vector<StackSym>>>
+explore(const Pds &P, PdsState P0, std::vector<StackSym> W0,
+        size_t MaxDepth, size_t MaxSteps) {
+  std::set<std::pair<PdsState, std::vector<StackSym>>> Seen;
+  std::deque<std::pair<PdsState, std::vector<StackSym>>> Work;
+  Work.emplace_back(P0, std::move(W0));
+  Seen.insert(Work.front());
+  size_t Steps = 0;
+  while (!Work.empty() && Steps++ < MaxSteps) {
+    auto [S, W] = Work.front();
+    Work.pop_front();
+    if (W.empty())
+      continue;
+    for (const PdsRule &R : P.rules()) {
+      if (R.P != S || R.Gamma != W.front())
+        continue;
+      std::vector<StackSym> W2(R.Push.begin(), R.Push.end());
+      W2.insert(W2.end(), W.begin() + 1, W.end());
+      if (W2.size() > MaxDepth)
+        continue;
+      auto Config = std::make_pair(R.Q, std::move(W2));
+      if (Seen.insert(Config).second)
+        Work.push_back(std::move(Config));
+    }
+  }
+  return Seen;
+}
+
+/// Singleton configuration automaton for ⟨P0, W0⟩.
+ConfigAutomaton singleton(const Pds &P, PdsState P0,
+                          std::span<const StackSym> W0) {
+  ConfigAutomaton A(P.numControls());
+  uint32_t Cur = P0;
+  for (StackSym S : W0) {
+    uint32_t Next = A.addState();
+    A.addTransition(Cur, S, Next);
+    Cur = Next;
+  }
+  if (W0.empty()) {
+    // Accept the empty stack from P0 via a fresh accepting state
+    // reached by nothing: P0 itself must accept.
+    A.setAccepting(P0);
+  } else {
+    A.setAccepting(Cur);
+  }
+  return A;
+}
+
+TEST(Pds, SchwoonExample) {
+  // The classic example: from ⟨p0, g0⟩ the system loops through
+  // pushes and pops.
+  Pds P;
+  PdsState P0 = P.addControlState();
+  PdsState P1 = P.addControlState();
+  PdsState P2 = P.addControlState();
+  StackSym G0 = P.addStackSymbol();
+  StackSym G1 = P.addStackSymbol();
+  StackSym G2 = P.addStackSymbol();
+  P.addRule(P0, G0, P1, {G1, G0});
+  P.addRule(P1, G1, P2, {G2, G0});
+  P.addRule(P2, G2, P0, {G1});
+  P.addRule(P0, G1, P0, {});
+
+  std::vector<StackSym> Init{G0};
+  ConfigAutomaton A = postStar(P, singleton(P, P0, Init));
+
+  // Spot-check reachable and unreachable configurations.
+  EXPECT_TRUE(A.accepts(P0, std::vector<StackSym>{G0}));
+  EXPECT_TRUE(A.accepts(P1, std::vector<StackSym>{G1, G0}));
+  EXPECT_TRUE(A.accepts(P2, std::vector<StackSym>{G2, G0, G0}));
+  EXPECT_TRUE(A.accepts(P0, std::vector<StackSym>{G1, G0, G0}));
+  EXPECT_TRUE(A.accepts(P0, std::vector<StackSym>{G0, G0}));
+  EXPECT_FALSE(A.accepts(P2, std::vector<StackSym>{G0}));
+  EXPECT_FALSE(A.accepts(P1, std::vector<StackSym>{G0}));
+
+  // pre* duality on the same system.
+  std::vector<StackSym> Target{G1, G0, G0};
+  ConfigAutomaton B = preStar(P, singleton(P, P0, Target));
+  EXPECT_TRUE(B.accepts(P0, std::vector<StackSym>{G0}));
+}
+
+TEST(Pds, PopToEmptyStack) {
+  Pds P;
+  PdsState S = P.addControlState();
+  PdsState T = P.addControlState();
+  StackSym G = P.addStackSymbol();
+  P.addRule(S, G, T, {});
+  std::vector<StackSym> Init{G};
+  ConfigAutomaton A = postStar(P, singleton(P, S, Init));
+  EXPECT_TRUE(A.accepts(T, std::vector<StackSym>{}));
+  EXPECT_FALSE(A.accepts(S, std::vector<StackSym>{}));
+  EXPECT_TRUE(A.anyAccepted(T));
+}
+
+TEST(Pds, ShortestWitness) {
+  Pds P;
+  PdsState S = P.addControlState();
+  StackSym A0 = P.addStackSymbol();
+  StackSym A1 = P.addStackSymbol();
+  P.addRule(S, A0, S, {A1, A0}); // grow the stack
+  std::vector<StackSym> Init{A0};
+  ConfigAutomaton A = postStar(P, singleton(P, S, Init));
+  auto W = A.shortestAccepted(S);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->size(), 1u); // ⟨S, A0⟩ itself
+  EXPECT_TRUE(A.accepts(S, *W));
+}
+
+class PdsRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PdsRandom, PostStarMatchesBruteForce) {
+  Rng R(GetParam());
+  Pds P;
+  unsigned NumControls = 2 + R.below(2);
+  unsigned NumSyms = 2 + R.below(2);
+  for (unsigned I = 0; I != NumControls; ++I)
+    P.addControlState();
+  for (unsigned I = 0; I != NumSyms; ++I)
+    P.addStackSymbol();
+  unsigned NumRules = 3 + R.below(5);
+  for (unsigned I = 0; I != NumRules; ++I) {
+    PdsState From = static_cast<PdsState>(R.below(NumControls));
+    StackSym G = static_cast<StackSym>(R.below(NumSyms));
+    PdsState To = static_cast<PdsState>(R.below(NumControls));
+    std::vector<StackSym> Push;
+    switch (R.below(3)) {
+    case 0:
+      break;
+    case 1:
+      Push = {static_cast<StackSym>(R.below(NumSyms))};
+      break;
+    case 2:
+      Push = {static_cast<StackSym>(R.below(NumSyms)),
+              static_cast<StackSym>(R.below(NumSyms))};
+      break;
+    }
+    P.addRule(From, G, To, std::move(Push));
+  }
+
+  std::vector<StackSym> W0{static_cast<StackSym>(R.below(NumSyms))};
+  ConfigAutomaton A = postStar(P, singleton(P, 0, W0));
+  // Deep exploration vs shallow membership queries keeps the bounded
+  // brute force exact for the configurations we compare.
+  auto Reachable = explore(P, 0, W0, /*MaxDepth=*/12, /*MaxSteps=*/200000);
+
+  for (const auto &[S, W] : Reachable) {
+    if (W.size() > 3)
+      continue;
+    EXPECT_TRUE(A.accepts(S, W)) << "seed " << GetParam();
+  }
+
+  // Unreachable short configurations must be rejected.
+  for (PdsState S = 0; S != NumControls; ++S)
+    for (StackSym G0 = 0; G0 != NumSyms; ++G0)
+      for (StackSym G1 = 0; G1 != NumSyms; ++G1) {
+        std::vector<StackSym> W{G0, G1};
+        bool InBrute = Reachable.count({S, W}) != 0;
+        EXPECT_EQ(A.accepts(S, W), InBrute)
+            << "seed " << GetParam() << " state " << S;
+      }
+}
+
+TEST_P(PdsRandom, PrePostDuality) {
+  // ⟨p1, w1⟩ ∈ post*({⟨p0, w0⟩}) iff ⟨p0, w0⟩ ∈ pre*({⟨p1, w1⟩}).
+  Rng R(GetParam() ^ 0xd0a11);
+  Pds P;
+  unsigned NumControls = 2 + R.below(2);
+  unsigned NumSyms = 2;
+  for (unsigned I = 0; I != NumControls; ++I)
+    P.addControlState();
+  for (unsigned I = 0; I != NumSyms; ++I)
+    P.addStackSymbol();
+  for (unsigned I = 0, E = 3 + R.below(5); I != E; ++I) {
+    std::vector<StackSym> Push;
+    for (unsigned K = 0, KE = R.below(3); K != KE; ++K)
+      Push.push_back(static_cast<StackSym>(R.below(NumSyms)));
+    P.addRule(static_cast<PdsState>(R.below(NumControls)),
+              static_cast<StackSym>(R.below(NumSyms)),
+              static_cast<PdsState>(R.below(NumControls)),
+              std::move(Push));
+  }
+
+  auto randConfig = [&] {
+    std::vector<StackSym> W;
+    for (unsigned I = 0, E = 1 + R.below(3); I != E; ++I)
+      W.push_back(static_cast<StackSym>(R.below(NumSyms)));
+    return std::make_pair(static_cast<PdsState>(R.below(NumControls)), W);
+  };
+
+  for (int Trial = 0; Trial != 10; ++Trial) {
+    auto [P0, W0] = randConfig();
+    auto [P1, W1] = randConfig();
+    ConfigAutomaton Post = postStar(P, singleton(P, P0, W0));
+    ConfigAutomaton Pre = preStar(P, singleton(P, P1, W1));
+    EXPECT_EQ(Post.accepts(P1, W1), Pre.accepts(P0, W0))
+        << "seed " << GetParam() << " trial " << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PdsRandom,
+                         ::testing::Range(uint64_t(1), uint64_t(40)));
+
+} // namespace

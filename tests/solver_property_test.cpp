@@ -1,0 +1,219 @@
+//===- tests/solver_property_test.cpp - Differential solver tests -*- C++ -*-//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Randomized differential tests: the optimized bidirectional solver
+/// against the naive rule-to-fixpoint reference on small random
+/// constraint systems over random annotation automata, plus
+/// option-matrix agreement (filtering, cycle elimination must not
+/// change query answers).
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/DfaOps.h"
+#include "core/Domains.h"
+#include "core/ReferenceSolver.h"
+#include "core/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace rasc;
+
+namespace {
+
+/// Builds a random total DFA with \p NumStates states over \p NumSyms
+/// symbols, minimized.
+Dfa randomDfa(Rng &R, unsigned NumStates, unsigned NumSyms) {
+  DfaBuilder B;
+  std::vector<SymbolId> Syms;
+  for (unsigned I = 0; I != NumSyms; ++I)
+    Syms.push_back(B.addSymbol("s" + std::to_string(I)));
+  for (unsigned I = 0; I != NumStates; ++I)
+    B.addState();
+  B.setStart(0);
+  bool AnyAccept = false;
+  for (unsigned I = 0; I != NumStates; ++I) {
+    if (R.chance(1, 2)) {
+      B.setAccepting(I);
+      AnyAccept = true;
+    }
+    for (SymbolId S : Syms)
+      B.addTransition(I, S, static_cast<StateId>(R.below(NumStates)));
+  }
+  if (!AnyAccept)
+    B.setAccepting(static_cast<StateId>(R.below(NumStates)));
+  return minimize(B.build());
+}
+
+struct RandomSystem {
+  std::unique_ptr<MonoidDomain> Dom;
+  std::unique_ptr<ConstraintSystem> CS;
+  std::vector<ConsId> Constants;
+  std::vector<ConsId> Constructors; // arity >= 1
+  std::vector<VarId> Vars;
+};
+
+RandomSystem randomSystem(Rng &R) {
+  RandomSystem Sys;
+  Sys.Dom = std::make_unique<MonoidDomain>(
+      randomDfa(R, 2 + R.below(3), 2 + R.below(2)));
+  Sys.CS = std::make_unique<ConstraintSystem>(*Sys.Dom);
+
+  unsigned NumConsts = 1 + R.below(2);
+  for (unsigned I = 0; I != NumConsts; ++I)
+    Sys.Constants.push_back(
+        Sys.CS->addConstant("k" + std::to_string(I)));
+  unsigned NumCtors = 1 + R.below(2);
+  for (unsigned I = 0; I != NumCtors; ++I)
+    Sys.Constructors.push_back(Sys.CS->addConstructor(
+        "c" + std::to_string(I), 1 + static_cast<uint32_t>(R.below(2))));
+
+  unsigned NumVars = 3 + R.below(5);
+  for (unsigned I = 0; I != NumVars; ++I)
+    Sys.Vars.push_back(Sys.CS->freshVar());
+
+  auto randVar = [&] {
+    return Sys.Vars[R.below(Sys.Vars.size())];
+  };
+  auto randAnn = [&]() -> AnnId {
+    if (R.chance(1, 3))
+      return Sys.Dom->identity();
+    SymbolId S =
+        static_cast<SymbolId>(R.below(Sys.Dom->machine().numSymbols()));
+    return Sys.Dom->symbolAnn(S);
+  };
+  auto randCons = [&]() -> ExprId {
+    ConsId C = Sys.Constructors[R.below(Sys.Constructors.size())];
+    std::vector<VarId> Args;
+    for (uint32_t I = 0; I != Sys.CS->constructor(C).Arity; ++I)
+      Args.push_back(randVar());
+    return Sys.CS->cons(C, std::move(Args));
+  };
+
+  unsigned NumCons = 4 + R.below(10);
+  for (unsigned I = 0; I != NumCons; ++I) {
+    switch (R.below(6)) {
+    case 0:
+      Sys.CS->add(Sys.CS->cons(Sys.Constants[R.below(Sys.Constants.size())]),
+                  Sys.CS->var(randVar()), randAnn());
+      break;
+    case 1:
+    case 2:
+      Sys.CS->add(Sys.CS->var(randVar()), Sys.CS->var(randVar()),
+                  randAnn());
+      break;
+    case 3:
+      Sys.CS->add(randCons(), Sys.CS->var(randVar()), randAnn());
+      break;
+    case 4: {
+      Sys.CS->add(Sys.CS->var(randVar()), randCons(), randAnn());
+      break;
+    }
+    case 5: {
+      ConsId C = Sys.Constructors[R.below(Sys.Constructors.size())];
+      uint32_t Index =
+          static_cast<uint32_t>(R.below(Sys.CS->constructor(C).Arity));
+      Sys.CS->add(Sys.CS->proj(C, Index, randVar()),
+                  Sys.CS->var(randVar()), randAnn());
+      break;
+    }
+    }
+  }
+  return Sys;
+}
+
+class SolverDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverDifferential, MatchesReference) {
+  Rng R(GetParam());
+  RandomSystem Sys = randomSystem(R);
+
+  SolverOptions Opts;
+  Opts.FilterUseless = false; // reference does not filter
+  Opts.CycleElimination = false;
+  BidirectionalSolver Fast(*Sys.CS, Opts);
+  BidirectionalSolver::Status St = Fast.solve();
+  ASSERT_NE(St, BidirectionalSolver::Status::EdgeLimit);
+
+  ReferenceSolver Ref(*Sys.CS);
+  bool RefConsistent = Ref.solve();
+  EXPECT_EQ(RefConsistent, St == BidirectionalSolver::Status::Solved);
+
+  for (ConsId K : Sys.Constants)
+    for (VarId V : Sys.Vars) {
+      std::vector<AnnId> A = Fast.constantAnnotations(K, V);
+      std::sort(A.begin(), A.end());
+      std::vector<AnnId> B = Ref.constantAnnotations(K, V);
+      EXPECT_EQ(A, B) << "constant " << Sys.CS->constructor(K).Name
+                      << " in " << Sys.CS->varName(V) << " (seed "
+                      << GetParam() << ")";
+    }
+}
+
+TEST_P(SolverDifferential, OptionsDoNotChangeQueries) {
+  Rng R(GetParam() ^ 0xabcdef);
+  RandomSystem Sys = randomSystem(R);
+
+  SolverOptions Plain;
+  Plain.FilterUseless = false;
+  Plain.CycleElimination = false;
+  BidirectionalSolver A(*Sys.CS, Plain);
+  A.solve();
+
+  SolverOptions Tuned;
+  Tuned.FilterUseless = true;
+  Tuned.CycleElimination = true;
+  Tuned.EagerFunctionVars = true;
+  BidirectionalSolver B(*Sys.CS, Tuned);
+  B.solve();
+
+  for (ConsId K : Sys.Constants)
+    for (VarId V : Sys.Vars) {
+      // Filtering drops non-accepting classes only, so the entailment
+      // answers must agree even though the raw sets may differ.
+      EXPECT_EQ(A.entailsConstant(K, V), B.entailsConstant(K, V))
+          << "seed " << GetParam();
+      // Accepting classes must match exactly.
+      auto Accepting = [&](const std::vector<AnnId> &Anns) {
+        std::vector<AnnId> Out;
+        for (AnnId F : Anns)
+          if (Sys.Dom->isAccepting(F))
+            Out.push_back(F);
+        std::sort(Out.begin(), Out.end());
+        return Out;
+      };
+      EXPECT_EQ(Accepting(A.constantAnnotations(K, V)),
+                Accepting(B.constantAnnotations(K, V)))
+          << "seed " << GetParam();
+    }
+}
+
+TEST_P(SolverDifferential, AtomReachabilityIncludesTopLevel) {
+  // Invariant: top-level constant annotations are a subset of the
+  // PN-reachability annotations (the atom at nesting depth zero).
+  Rng R(GetParam() ^ 0x5eed);
+  RandomSystem Sys = randomSystem(R);
+  BidirectionalSolver S(*Sys.CS);
+  if (S.solve() == BidirectionalSolver::Status::EdgeLimit)
+    GTEST_SKIP();
+  for (ConsId K : Sys.Constants) {
+    AtomReachability AR = S.atomReachability(K);
+    for (VarId V : Sys.Vars) {
+      const std::vector<AnnId> &All = AR.annotations(V);
+      for (AnnId F : S.constantAnnotations(K, V))
+        EXPECT_NE(std::find(All.begin(), All.end(), F), All.end())
+            << "seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SolverDifferential,
+                         ::testing::Range(uint64_t(1), uint64_t(60)));
+
+} // namespace

@@ -1,0 +1,178 @@
+//===- tests/spec_test.cpp - Specification language tests -------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/Monoid.h"
+#include "spec/SpecParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace rasc;
+
+namespace {
+
+// Figure 3, with the self-loops Figure 4's representative functions
+// imply (irrelevant operations keep the state; Error absorbs).
+const char *PrivilegeSpec = R"(
+# Figure 3: Unix process privilege (simple model).
+start state Unpriv :
+  | seteuid_zero -> Priv
+  | seteuid_nonzero -> Unpriv
+  | execl -> Unpriv;
+
+state Priv :
+  | seteuid_zero -> Priv
+  | seteuid_nonzero -> Unpriv
+  | execl -> Error;
+
+accept state Error :
+  | seteuid_zero -> Error
+  | seteuid_nonzero -> Error
+  | execl -> Error;
+)";
+
+TEST(Spec, ParsesFigure3) {
+  std::string Err;
+  std::optional<SpecAutomaton> A = parseSpec(PrivilegeSpec, &Err);
+  ASSERT_TRUE(A) << Err;
+
+  const Dfa &M = A->machine();
+  // Total as written: no dead state materialized.
+  EXPECT_EQ(M.numStates(), 3u);
+  EXPECT_EQ(M.numSymbols(), 3u);
+  EXPECT_EQ(A->stateName(M.start()), "Unpriv");
+  ASSERT_TRUE(A->stateByName("Error").has_value());
+  EXPECT_TRUE(M.isAccepting(*A->stateByName("Error")));
+
+  auto Sym = [&](const char *N) { return *M.symbol(N); };
+  // The violating word: seteuid_zero execl.
+  EXPECT_TRUE(M.accepts(Word{Sym("seteuid_zero"), Sym("execl")}));
+  // Dropping privilege first avoids the error state.
+  EXPECT_FALSE(M.accepts(
+      Word{Sym("seteuid_zero"), Sym("seteuid_nonzero"), Sym("execl")}));
+  // execl while unprivileged is harmless.
+  EXPECT_FALSE(M.accepts(Word{Sym("execl")}));
+}
+
+TEST(Spec, Figure4RepresentativeFunctions) {
+  // Figure 4 lists representative functions f_0 (seteuid_zero), f_1
+  // (seteuid_nonzero), f_2 (execl) for the privilege model. Check
+  // their action on the named states.
+  std::string Err;
+  std::optional<SpecAutomaton> A = parseSpec(PrivilegeSpec, &Err);
+  ASSERT_TRUE(A) << Err;
+  const Dfa &M = A->machine();
+  TransitionMonoid Mon(M);
+
+  StateId Unpriv = *A->stateByName("Unpriv");
+  StateId Priv = *A->stateByName("Priv");
+  StateId Error = *A->stateByName("Error");
+
+  FnId F0 = Mon.symbolFn(*M.symbol("seteuid_zero"));
+  FnId F1 = Mon.symbolFn(*M.symbol("seteuid_nonzero"));
+  FnId F2 = Mon.symbolFn(*M.symbol("execl"));
+
+  // Exactly Figure 4's f_0, f_1, f_2.
+  EXPECT_EQ(Mon.apply(F0, Unpriv), Priv);
+  EXPECT_EQ(Mon.apply(F0, Priv), Priv);
+  EXPECT_EQ(Mon.apply(F1, Priv), Unpriv);
+  EXPECT_EQ(Mon.apply(F1, Unpriv), Unpriv);
+  EXPECT_EQ(Mon.apply(F2, Priv), Error);
+  EXPECT_EQ(Mon.apply(F2, Error), Error);
+  EXPECT_EQ(Mon.apply(F0, Error), Error);
+
+  // Composition f_2 ∘ f_0 maps Unpriv to Error: the violation.
+  FnId Viol = Mon.compose(F2, F0);
+  EXPECT_EQ(Mon.apply(Viol, Unpriv), Error);
+  EXPECT_TRUE(Mon.acceptingFromStart(Viol));
+}
+
+TEST(Spec, ParametricSymbols) {
+  const char *FileSpec = R"(
+# Figure 5: file state tracking with a parametric descriptor.
+start accept state Closed :
+  | open(x) -> Opened;
+
+state Opened :
+  | close(x) -> Closed;
+)";
+  std::string Err;
+  std::optional<SpecAutomaton> A = parseSpec(FileSpec, &Err);
+  ASSERT_TRUE(A) << Err;
+  auto Open = A->machine().symbol("open");
+  auto Close = A->machine().symbol("close");
+  ASSERT_TRUE(Open && Close);
+  EXPECT_TRUE(A->isParametric(*Open));
+  EXPECT_TRUE(A->isParametric(*Close));
+  ASSERT_EQ(A->symbols()[*Open].Params.size(), 1u);
+  EXPECT_EQ(A->symbols()[*Open].Params[0], "x");
+  // Balanced open/close accepted; unbalanced rejected.
+  EXPECT_TRUE(A->machine().accepts(Word{*Open, *Close}));
+  EXPECT_FALSE(A->machine().accepts(Word{*Open}));
+  EXPECT_FALSE(A->machine().accepts(Word{*Open, *Open}));
+}
+
+TEST(Spec, ExtraSymbolsDeclaration) {
+  const char *Text = R"(
+symbols unused_a, unused_b;
+start state S : | go -> T;
+accept state T;
+)";
+  std::string Err;
+  std::optional<SpecAutomaton> A = parseSpec(Text, &Err);
+  ASSERT_TRUE(A) << Err;
+  EXPECT_EQ(A->machine().numSymbols(), 3u);
+  // Unused symbols lead to the dead state from everywhere.
+  auto U = A->machine().symbol("unused_a");
+  ASSERT_TRUE(U);
+  EXPECT_FALSE(A->machine().accepts(Word{*U}));
+}
+
+TEST(Spec, Errors) {
+  std::string Err;
+
+  Err.clear();
+  EXPECT_FALSE(parseSpec("state S;", &Err));
+  EXPECT_NE(Err.find("start"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(parseSpec("start state S;", &Err));
+  EXPECT_NE(Err.find("accept"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(parseSpec("start state S : | a -> Nowhere;", &Err));
+  EXPECT_NE(Err.find("Nowhere"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(
+      parseSpec("start accept state S : | a -> S | a -> S;", &Err));
+  EXPECT_NE(Err.find("duplicate transition"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(parseSpec("start accept state S;\nstate S;", &Err));
+  EXPECT_NE(Err.find("duplicate state"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(parseSpec(
+      "start accept state S : | f(x) -> S | f -> S;", &Err));
+  EXPECT_NE(Err.find("inconsistent parameters"), std::string::npos);
+
+  Err.clear();
+  EXPECT_FALSE(parseSpec("start state S :", &Err));
+  EXPECT_FALSE(Err.empty());
+
+  Err.clear();
+  EXPECT_FALSE(parseSpec("", &Err));
+  EXPECT_NE(Err.find("no states"), std::string::npos);
+}
+
+TEST(Spec, MultipleStartStatesRejected) {
+  std::string Err;
+  EXPECT_FALSE(parseSpec(
+      "start state A;\nstart accept state B;", &Err));
+  EXPECT_NE(Err.find("multiple start"), std::string::npos);
+}
+
+} // namespace

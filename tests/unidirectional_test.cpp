@@ -1,0 +1,204 @@
+//===- tests/unidirectional_test.cpp - Forward/backward solving -*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "automata/DfaOps.h"
+#include "automata/Machines.h"
+#include "core/Solver.h"
+#include "pds/Unidirectional.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace rasc;
+
+namespace {
+
+TEST(Unidirectional, SimpleChain) {
+  MonoidDomain Dom(buildOneBitMachine());
+  ConstraintSystem CS(Dom);
+  ConsId C = CS.addConstant("c");
+  VarId X0 = CS.freshVar(), X1 = CS.freshVar(), X2 = CS.freshVar();
+  CS.add(CS.cons(C), CS.var(X0));
+  CS.add(CS.var(X0), CS.var(X1), Dom.symbolAnn("g"));
+  CS.add(CS.var(X1), CS.var(X2), Dom.symbolAnn("k"));
+
+  UnidirectionalSolver U(CS, Dom);
+  // After "g": state 1 (accepting); after "g k": state 0.
+  EXPECT_EQ(U.matchedStates(C, X1), (std::vector<StateId>{1}));
+  EXPECT_EQ(U.matchedStates(C, X2), (std::vector<StateId>{0}));
+  EXPECT_TRUE(U.reachesAccepting(C, X1, /*RequireMatched=*/true));
+  EXPECT_FALSE(U.reachesAccepting(C, X2, /*RequireMatched=*/true));
+  EXPECT_EQ(U.reachesAcceptingBackward(C, X1, true), true);
+  EXPECT_EQ(U.reachesAcceptingBackward(C, X2, true), false);
+}
+
+TEST(Unidirectional, CallReturnMatching) {
+  // pc ⊆ S1; o(S1) ⊆ F; F ⊆^g F2; o^-1(F2) ⊆ S2: the wrap at the
+  // call site is cancelled by the projection at the return.
+  MonoidDomain Dom(buildOneBitMachine());
+  ConstraintSystem CS(Dom);
+  ConsId Pc = CS.addConstant("pc");
+  ConsId O = CS.addConstructor("o", 1);
+  VarId S1 = CS.freshVar(), F = CS.freshVar(), F2 = CS.freshVar(),
+        S2 = CS.freshVar();
+  CS.add(CS.cons(Pc), CS.var(S1));
+  CS.add(CS.cons(O, {S1}), CS.var(F));
+  CS.add(CS.var(F), CS.var(F2), Dom.symbolAnn("g"));
+  CS.add(CS.proj(O, 0, F2), CS.var(S2));
+
+  UnidirectionalSolver U(CS, Dom);
+  // Inside the callee pc occurs only under the unmatched wrap.
+  EXPECT_TRUE(U.matchedStates(Pc, F).empty());
+  EXPECT_EQ(U.pnStates(Pc, F), (std::vector<StateId>{0}));
+  EXPECT_EQ(U.pnStates(Pc, F2), (std::vector<StateId>{1}));
+  // After the return the occurrence is matched again.
+  EXPECT_EQ(U.matchedStates(Pc, S2), (std::vector<StateId>{1}));
+  EXPECT_TRUE(U.reachesAccepting(Pc, S2, true));
+  EXPECT_TRUE(U.reachesAcceptingBackward(Pc, S2, true));
+}
+
+TEST(Unidirectional, MismatchedProjectionDoesNotFire) {
+  TrivialDomain TDom;
+  (void)TDom;
+  MonoidDomain Dom(buildOneBitMachine());
+  ConstraintSystem CS(Dom);
+  ConsId Pc = CS.addConstant("pc");
+  ConsId O1 = CS.addConstructor("o1", 1);
+  ConsId O2 = CS.addConstructor("o2", 1);
+  VarId S1 = CS.freshVar(), F = CS.freshVar(), S2 = CS.freshVar();
+  CS.add(CS.cons(Pc), CS.var(S1));
+  CS.add(CS.cons(O1, {S1}), CS.var(F));
+  CS.add(CS.proj(O2, 0, F), CS.var(S2)); // wrong constructor
+  UnidirectionalSolver U(CS, Dom);
+  EXPECT_TRUE(U.pnStates(Pc, S2).empty());
+}
+
+TEST(Unidirectional, RhsConstructorActsAsProjection) {
+  // k ⊆ A; c(A, B) ⊆ X; X ⊆ c(Y, Z): k flows into Y, not Z.
+  MonoidDomain Dom(buildOneBitMachine());
+  ConstraintSystem CS(Dom);
+  ConsId K = CS.addConstant("k");
+  ConsId C = CS.addConstructor("c", 2);
+  VarId A = CS.freshVar(), B = CS.freshVar(), X = CS.freshVar(),
+        Y = CS.freshVar(), Z = CS.freshVar();
+  CS.add(CS.cons(K), CS.var(A), Dom.symbolAnn("g"));
+  CS.add(CS.cons(C, {A, B}), CS.var(X));
+  CS.add(CS.var(X), CS.cons(C, {Y, Z}));
+  UnidirectionalSolver U(CS, Dom);
+  EXPECT_EQ(U.matchedStates(K, Y), (std::vector<StateId>{1}));
+  EXPECT_TRUE(U.matchedStates(K, Z).empty());
+}
+
+/// Differential test: forward/backward/bidirectional answer the
+/// paper's queries identically on random systems.
+class UniDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+Dfa randomDfa(Rng &R, unsigned NumStates, unsigned NumSyms) {
+  DfaBuilder B;
+  std::vector<SymbolId> Syms;
+  for (unsigned I = 0; I != NumSyms; ++I)
+    Syms.push_back(B.addSymbol("s" + std::to_string(I)));
+  for (unsigned I = 0; I != NumStates; ++I)
+    B.addState();
+  B.setStart(0);
+  bool AnyAccept = false;
+  for (unsigned I = 0; I != NumStates; ++I) {
+    if (R.chance(1, 2)) {
+      B.setAccepting(I);
+      AnyAccept = true;
+    }
+    for (SymbolId S : Syms)
+      B.addTransition(I, S, static_cast<StateId>(R.below(NumStates)));
+  }
+  if (!AnyAccept)
+    B.setAccepting(static_cast<StateId>(R.below(NumStates)));
+  return minimize(B.build());
+}
+
+TEST_P(UniDifferential, AgreesWithBidirectional) {
+  Rng R(GetParam());
+  MonoidDomain Dom(randomDfa(R, 2 + R.below(3), 2));
+  ConstraintSystem CS(Dom);
+
+  ConsId K = CS.addConstant("k");
+  ConsId C1 = CS.addConstructor("c1", 1);
+  ConsId C2 = CS.addConstructor("c2", 2);
+  unsigned NumVars = 4 + R.below(5);
+  std::vector<VarId> Vars;
+  for (unsigned I = 0; I != NumVars; ++I)
+    Vars.push_back(CS.freshVar());
+
+  auto randVar = [&] { return Vars[R.below(Vars.size())]; };
+  auto randAnn = [&]() -> AnnId {
+    if (R.chance(1, 3))
+      return Dom.identity();
+    return Dom.symbolAnn(
+        static_cast<SymbolId>(R.below(Dom.machine().numSymbols())));
+  };
+
+  CS.add(CS.cons(K), CS.var(randVar()), randAnn());
+  for (unsigned I = 0, E = 5 + R.below(10); I != E; ++I) {
+    switch (R.below(8)) {
+    case 0:
+      CS.add(CS.cons(K), CS.var(randVar()), randAnn());
+      break;
+    case 1:
+    case 2:
+    case 3:
+      CS.add(CS.var(randVar()), CS.var(randVar()), randAnn());
+      break;
+    case 4:
+      CS.add(CS.cons(C1, {randVar()}), CS.var(randVar()), randAnn());
+      break;
+    case 5:
+      CS.add(CS.cons(C2, {randVar(), randVar()}), CS.var(randVar()),
+             randAnn());
+      break;
+    case 6:
+      CS.add(CS.proj(C1, 0, randVar()), CS.var(randVar()), randAnn());
+      break;
+    case 7:
+      CS.add(CS.proj(C2, static_cast<uint32_t>(R.below(2)), randVar()),
+             CS.var(randVar()), randAnn());
+      break;
+    }
+  }
+
+  SolverOptions Opts;
+  Opts.FilterUseless = false;
+  BidirectionalSolver Bi(CS, Opts);
+  if (Bi.solve() == BidirectionalSolver::Status::EdgeLimit)
+    GTEST_SKIP();
+
+  UnidirectionalSolver U(CS, Dom);
+  AtomReachability AR = Bi.atomReachability(K);
+
+  for (VarId V : Vars) {
+    // Matched query: bidirectional constant bounds vs forward solving.
+    bool BiMatched = Bi.entailsConstant(K, V);
+    bool FwdMatched = U.reachesAccepting(K, V, /*RequireMatched=*/true);
+    EXPECT_EQ(BiMatched, FwdMatched)
+        << "matched @ var " << V << " seed " << GetParam();
+    // PN query: atom reachability vs forward PN states.
+    bool BiPn = false;
+    for (AnnId F : AR.annotations(V))
+      BiPn |= Dom.isAccepting(F);
+    bool FwdPn = U.reachesAccepting(K, V, /*RequireMatched=*/false);
+    EXPECT_EQ(BiPn, FwdPn) << "pn @ var " << V << " seed " << GetParam();
+    // Forward vs backward.
+    EXPECT_EQ(FwdMatched, U.reachesAcceptingBackward(K, V, true))
+        << "fwd/bwd matched @ var " << V << " seed " << GetParam();
+    EXPECT_EQ(FwdPn, U.reachesAcceptingBackward(K, V, false))
+        << "fwd/bwd pn @ var " << V << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, UniDifferential,
+                         ::testing::Range(uint64_t(1), uint64_t(80)));
+
+} // namespace
