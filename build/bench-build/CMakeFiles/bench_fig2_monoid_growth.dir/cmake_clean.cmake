@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_monoid_growth"
+  "../bench/bench_fig2_monoid_growth.pdb"
+  "CMakeFiles/bench_fig2_monoid_growth.dir/bench_fig2_monoid_growth.cpp.o"
+  "CMakeFiles/bench_fig2_monoid_growth.dir/bench_fig2_monoid_growth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_monoid_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

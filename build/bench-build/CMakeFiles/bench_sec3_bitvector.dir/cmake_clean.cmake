@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec3_bitvector"
+  "../bench/bench_sec3_bitvector.pdb"
+  "CMakeFiles/bench_sec3_bitvector.dir/bench_sec3_bitvector.cpp.o"
+  "CMakeFiles/bench_sec3_bitvector.dir/bench_sec3_bitvector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_bitvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec4_core_scaling"
+  "../bench/bench_sec4_core_scaling.pdb"
+  "CMakeFiles/bench_sec4_core_scaling.dir/bench_sec4_core_scaling.cpp.o"
+  "CMakeFiles/bench_sec4_core_scaling.dir/bench_sec4_core_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_solver_strategies"
+  "../bench/bench_sec5_solver_strategies.pdb"
+  "CMakeFiles/bench_sec5_solver_strategies.dir/bench_sec5_solver_strategies.cpp.o"
+  "CMakeFiles/bench_sec5_solver_strategies.dir/bench_sec5_solver_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_solver_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec6_parametric"
+  "../bench/bench_sec6_parametric.pdb"
+  "CMakeFiles/bench_sec6_parametric.dir/bench_sec6_parametric.cpp.o"
+  "CMakeFiles/bench_sec6_parametric.dir/bench_sec6_parametric.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_parametric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec7_flow"
+  "../bench/bench_sec7_flow.pdb"
+  "CMakeFiles/bench_sec7_flow.dir/bench_sec7_flow.cpp.o"
+  "CMakeFiles/bench_sec7_flow.dir/bench_sec7_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_privilege"
+  "../bench/bench_table1_privilege.pdb"
+  "CMakeFiles/bench_table1_privilege.dir/bench_table1_privilege.cpp.o"
+  "CMakeFiles/bench_table1_privilege.dir/bench_table1_privilege.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_privilege.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataflow.cpp" "examples/CMakeFiles/example_dataflow.dir/dataflow.cpp.o" "gcc" "examples/CMakeFiles/example_dataflow.dir/dataflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rasc_progen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_pdmc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_pds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dataflow.dir/dataflow.cpp.o"
+  "CMakeFiles/example_dataflow.dir/dataflow.cpp.o.d"
+  "dataflow"
+  "dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

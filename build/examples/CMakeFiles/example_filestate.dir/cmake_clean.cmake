@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_filestate.dir/filestate.cpp.o"
+  "CMakeFiles/example_filestate.dir/filestate.cpp.o.d"
+  "filestate"
+  "filestate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_filestate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_flowanalysis.dir/flowanalysis.cpp.o"
+  "CMakeFiles/example_flowanalysis.dir/flowanalysis.cpp.o.d"
+  "flowanalysis"
+  "flowanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_flowanalysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_privcheck.dir/privcheck.cpp.o"
+  "CMakeFiles/example_privcheck.dir/privcheck.cpp.o.d"
+  "privcheck"
+  "privcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_privcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rasctool.dir/rasctool.cpp.o"
+  "CMakeFiles/example_rasctool.dir/rasctool.cpp.o.d"
+  "rasctool"
+  "rasctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rasctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/Dfa.cpp" "src/CMakeFiles/rasc_automata.dir/automata/Dfa.cpp.o" "gcc" "src/CMakeFiles/rasc_automata.dir/automata/Dfa.cpp.o.d"
+  "/root/repo/src/automata/DfaOps.cpp" "src/CMakeFiles/rasc_automata.dir/automata/DfaOps.cpp.o" "gcc" "src/CMakeFiles/rasc_automata.dir/automata/DfaOps.cpp.o.d"
+  "/root/repo/src/automata/Machines.cpp" "src/CMakeFiles/rasc_automata.dir/automata/Machines.cpp.o" "gcc" "src/CMakeFiles/rasc_automata.dir/automata/Machines.cpp.o.d"
+  "/root/repo/src/automata/Monoid.cpp" "src/CMakeFiles/rasc_automata.dir/automata/Monoid.cpp.o" "gcc" "src/CMakeFiles/rasc_automata.dir/automata/Monoid.cpp.o.d"
+  "/root/repo/src/automata/Nfa.cpp" "src/CMakeFiles/rasc_automata.dir/automata/Nfa.cpp.o" "gcc" "src/CMakeFiles/rasc_automata.dir/automata/Nfa.cpp.o.d"
+  "/root/repo/src/automata/RegexParser.cpp" "src/CMakeFiles/rasc_automata.dir/automata/RegexParser.cpp.o" "gcc" "src/CMakeFiles/rasc_automata.dir/automata/RegexParser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rasc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

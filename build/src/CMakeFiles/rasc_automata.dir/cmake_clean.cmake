@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_automata.dir/automata/Dfa.cpp.o"
+  "CMakeFiles/rasc_automata.dir/automata/Dfa.cpp.o.d"
+  "CMakeFiles/rasc_automata.dir/automata/DfaOps.cpp.o"
+  "CMakeFiles/rasc_automata.dir/automata/DfaOps.cpp.o.d"
+  "CMakeFiles/rasc_automata.dir/automata/Machines.cpp.o"
+  "CMakeFiles/rasc_automata.dir/automata/Machines.cpp.o.d"
+  "CMakeFiles/rasc_automata.dir/automata/Monoid.cpp.o"
+  "CMakeFiles/rasc_automata.dir/automata/Monoid.cpp.o.d"
+  "CMakeFiles/rasc_automata.dir/automata/Nfa.cpp.o"
+  "CMakeFiles/rasc_automata.dir/automata/Nfa.cpp.o.d"
+  "CMakeFiles/rasc_automata.dir/automata/RegexParser.cpp.o"
+  "CMakeFiles/rasc_automata.dir/automata/RegexParser.cpp.o.d"
+  "librasc_automata.a"
+  "librasc_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

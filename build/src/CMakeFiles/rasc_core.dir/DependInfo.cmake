@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ConstraintSystem.cpp" "src/CMakeFiles/rasc_core.dir/core/ConstraintSystem.cpp.o" "gcc" "src/CMakeFiles/rasc_core.dir/core/ConstraintSystem.cpp.o.d"
+  "/root/repo/src/core/Domains.cpp" "src/CMakeFiles/rasc_core.dir/core/Domains.cpp.o" "gcc" "src/CMakeFiles/rasc_core.dir/core/Domains.cpp.o.d"
+  "/root/repo/src/core/GroundTerm.cpp" "src/CMakeFiles/rasc_core.dir/core/GroundTerm.cpp.o" "gcc" "src/CMakeFiles/rasc_core.dir/core/GroundTerm.cpp.o.d"
+  "/root/repo/src/core/ReferenceSolver.cpp" "src/CMakeFiles/rasc_core.dir/core/ReferenceSolver.cpp.o" "gcc" "src/CMakeFiles/rasc_core.dir/core/ReferenceSolver.cpp.o.d"
+  "/root/repo/src/core/Solver.cpp" "src/CMakeFiles/rasc_core.dir/core/Solver.cpp.o" "gcc" "src/CMakeFiles/rasc_core.dir/core/Solver.cpp.o.d"
+  "/root/repo/src/core/SubstEnv.cpp" "src/CMakeFiles/rasc_core.dir/core/SubstEnv.cpp.o" "gcc" "src/CMakeFiles/rasc_core.dir/core/SubstEnv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rasc_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rasc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

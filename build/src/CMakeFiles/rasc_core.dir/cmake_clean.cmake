@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_core.dir/core/ConstraintSystem.cpp.o"
+  "CMakeFiles/rasc_core.dir/core/ConstraintSystem.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/core/Domains.cpp.o"
+  "CMakeFiles/rasc_core.dir/core/Domains.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/core/GroundTerm.cpp.o"
+  "CMakeFiles/rasc_core.dir/core/GroundTerm.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/core/ReferenceSolver.cpp.o"
+  "CMakeFiles/rasc_core.dir/core/ReferenceSolver.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/core/Solver.cpp.o"
+  "CMakeFiles/rasc_core.dir/core/Solver.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/core/SubstEnv.cpp.o"
+  "CMakeFiles/rasc_core.dir/core/SubstEnv.cpp.o.d"
+  "librasc_core.a"
+  "librasc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_dataflow.dir/dataflow/BitVector.cpp.o"
+  "CMakeFiles/rasc_dataflow.dir/dataflow/BitVector.cpp.o.d"
+  "librasc_dataflow.a"
+  "librasc_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

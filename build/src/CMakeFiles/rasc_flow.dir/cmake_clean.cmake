@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_flow.dir/flow/Analysis.cpp.o"
+  "CMakeFiles/rasc_flow.dir/flow/Analysis.cpp.o.d"
+  "CMakeFiles/rasc_flow.dir/flow/Lang.cpp.o"
+  "CMakeFiles/rasc_flow.dir/flow/Lang.cpp.o.d"
+  "librasc_flow.a"
+  "librasc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_frontend.dir/frontend/ConstraintParser.cpp.o"
+  "CMakeFiles/rasc_frontend.dir/frontend/ConstraintParser.cpp.o.d"
+  "librasc_frontend.a"
+  "librasc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_pdmc.dir/pdmc/Checker.cpp.o"
+  "CMakeFiles/rasc_pdmc.dir/pdmc/Checker.cpp.o.d"
+  "CMakeFiles/rasc_pdmc.dir/pdmc/Program.cpp.o"
+  "CMakeFiles/rasc_pdmc.dir/pdmc/Program.cpp.o.d"
+  "CMakeFiles/rasc_pdmc.dir/pdmc/Properties.cpp.o"
+  "CMakeFiles/rasc_pdmc.dir/pdmc/Properties.cpp.o.d"
+  "librasc_pdmc.a"
+  "librasc_pdmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_pdmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

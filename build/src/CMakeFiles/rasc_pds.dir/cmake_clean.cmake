@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_pds.dir/pds/Pds.cpp.o"
+  "CMakeFiles/rasc_pds.dir/pds/Pds.cpp.o.d"
+  "CMakeFiles/rasc_pds.dir/pds/Unidirectional.cpp.o"
+  "CMakeFiles/rasc_pds.dir/pds/Unidirectional.cpp.o.d"
+  "librasc_pds.a"
+  "librasc_pds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_pds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_progen.dir/progen/ProgramGen.cpp.o"
+  "CMakeFiles/rasc_progen.dir/progen/ProgramGen.cpp.o.d"
+  "librasc_progen.a"
+  "librasc_progen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_progen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

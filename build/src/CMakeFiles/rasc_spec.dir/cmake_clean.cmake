@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_spec.dir/spec/SpecParser.cpp.o"
+  "CMakeFiles/rasc_spec.dir/spec/SpecParser.cpp.o.d"
+  "librasc_spec.a"
+  "librasc_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_support.dir/support/Support.cpp.o"
+  "CMakeFiles/rasc_support.dir/support/Support.cpp.o.d"
+  "librasc_support.a"
+  "librasc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_pn_test.dir/flow_pn_test.cpp.o"
+  "CMakeFiles/flow_pn_test.dir/flow_pn_test.cpp.o.d"
+  "flow_pn_test"
+  "flow_pn_test.pdb"
+  "flow_pn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_pn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

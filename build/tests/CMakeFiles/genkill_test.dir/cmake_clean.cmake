@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genkill_test.dir/genkill_test.cpp.o"
+  "CMakeFiles/genkill_test.dir/genkill_test.cpp.o.d"
+  "genkill_test"
+  "genkill_test.pdb"
+  "genkill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genkill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

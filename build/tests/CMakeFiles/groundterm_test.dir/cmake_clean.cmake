@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groundterm_test.dir/groundterm_test.cpp.o"
+  "CMakeFiles/groundterm_test.dir/groundterm_test.cpp.o.d"
+  "groundterm_test"
+  "groundterm_test.pdb"
+  "groundterm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groundterm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdmc_test.dir/pdmc_test.cpp.o"
+  "CMakeFiles/pdmc_test.dir/pdmc_test.cpp.o.d"
+  "pdmc_test"
+  "pdmc_test.pdb"
+  "pdmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

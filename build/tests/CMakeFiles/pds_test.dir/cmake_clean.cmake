@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pds_test.dir/pds_test.cpp.o"
+  "CMakeFiles/pds_test.dir/pds_test.cpp.o.d"
+  "pds_test"
+  "pds_test.pdb"
+  "pds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substenv_test.dir/substenv_test.cpp.o"
+  "CMakeFiles/substenv_test.dir/substenv_test.cpp.o.d"
+  "substenv_test"
+  "substenv_test.pdb"
+  "substenv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substenv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unidirectional_test.dir/unidirectional_test.cpp.o"
+  "CMakeFiles/unidirectional_test.dir/unidirectional_test.cpp.o.d"
+  "unidirectional_test"
+  "unidirectional_test.pdb"
+  "unidirectional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unidirectional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

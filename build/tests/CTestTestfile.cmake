@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/automata_property_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/dataflow_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_pn_test[1]_include.cmake")
+include("/root/repo/build/tests/flow_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/genkill_test[1]_include.cmake")
+include("/root/repo/build/tests/groundterm_test[1]_include.cmake")
+include("/root/repo/build/tests/monoid_test[1]_include.cmake")
+include("/root/repo/build/tests/pdmc_test[1]_include.cmake")
+include("/root/repo/build/tests/pds_test[1]_include.cmake")
+include("/root/repo/build/tests/progen_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_property_test[1]_include.cmake")
+include("/root/repo/build/tests/solver_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/substenv_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/unidirectional_test[1]_include.cmake")
