@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Runs the solver scaling benchmark and records the trajectory in
+# BENCH_solver.json.
+#
+# Usage: bench/run_bench.sh [label] [rounds]
+#
+#   label   tag stored with this run (default: git describe / "dev")
+#   rounds  independent repetitions per size (default: 5)
+#
+# Each round is a separate process invocation of
+# bench_sec4_core_scaling; per size we keep the min and median of
+# wall time across rounds. Min is the robust statistic on shared
+# machines (interference only ever adds time), median is reported as
+# a sanity check. Results are appended as a new entry under "runs" in
+# BENCH_solver.json next to the repo root, so successive sessions
+# build a before/after trajectory on the same file.
+#
+# The binary must already be built (cmake --build build -j).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BIN="${BENCH_BIN:-$REPO_ROOT/build/bench/bench_sec4_core_scaling}"
+OUT="${BENCH_OUT:-$REPO_ROOT/BENCH_solver.json}"
+LABEL="${1:-$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo dev)}"
+ROUNDS="${2:-5}"
+MIN_TIME="${BENCH_MIN_TIME:-0.5}"
+
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (run: cmake --build build -j)" >&2
+  exit 1
+fi
+
+TMPDIR_BENCH="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_BENCH"' EXIT
+
+for R in $(seq 1 "$ROUNDS"); do
+  # Old google-benchmark: --benchmark_min_time takes a plain double.
+  "$BIN" --benchmark_filter='BM_SolveDag' \
+         --benchmark_min_time="$MIN_TIME" \
+         --benchmark_format=json >"$TMPDIR_BENCH/round_$R.json"
+  echo "round $R/$ROUNDS done" >&2
+done
+
+python3 - "$OUT" "$LABEL" "$TMPDIR_BENCH" "$ROUNDS" <<'EOF'
+import json, os, statistics, sys
+
+out_path, label, tmpdir, rounds = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+
+per_size = {}  # size -> {"ms": [..], "edges": N, "edges_per_s": [..]}
+for r in range(1, rounds + 1):
+    with open(os.path.join(tmpdir, f"round_{r}.json")) as f:
+        doc = json.load(f)
+    for b in doc["benchmarks"]:
+        size = int(b["name"].rsplit("/", 1)[1])
+        rec = per_size.setdefault(size, {"ms": [], "edges": 0, "edges_per_s": []})
+        rec["ms"].append(b["real_time"] / 1e6)  # ns -> ms
+        rec["edges"] = int(b.get("edges", 0))
+        rec["edges_per_s"].append(b.get("edges_per_s", 0.0))
+
+entry = {
+    "label": label,
+    "benchmark": "bench_sec4_core_scaling:BM_SolveDag",
+    "rounds": rounds,
+    "sizes": {
+        str(size): {
+            "min_ms": round(min(rec["ms"]), 3),
+            "median_ms": round(statistics.median(rec["ms"]), 3),
+            "edges": rec["edges"],
+            "max_edges_per_s": round(max(rec["edges_per_s"])),
+        }
+        for size, rec in sorted(per_size.items())
+    },
+}
+
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+doc.setdefault("runs", []).append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"appended run '{label}' to {out_path}")
+for size, rec in sorted(per_size.items()):
+    print(f"  /{size}: min {min(rec['ms']):.2f} ms, "
+          f"median {statistics.median(rec['ms']):.2f} ms, "
+          f"{rec['edges']} edges")
+EOF

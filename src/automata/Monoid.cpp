@@ -71,6 +71,17 @@ TransitionMonoid::TransitionMonoid(const Dfa &M, Options Opts)
     for (FnId F = 0; F != N; ++F)
       for (FnId G = 0; G != N; ++G)
         DenseTable[static_cast<size_t>(F) * N + G] = composeSlow(F, G);
+    // Transpose for composeRowRhs(): a cheap copy next to the O(N^2)
+    // composeSlow sweep above.
+    DenseTableT.resize(N * N);
+    for (FnId F = 0; F != N; ++F)
+      for (FnId G = 0; G != N; ++G)
+        DenseTableT[static_cast<size_t>(G) * N + F] =
+            DenseTable[static_cast<size_t>(F) * N + G];
+  } else {
+    // Memo path: expect a quadratic-ish working set of hot pairs;
+    // pre-sizing avoids rehash storms in the closure loop.
+    Memo.reserve(std::min<size_t>(size() * 16, size_t(1) << 20));
   }
 }
 

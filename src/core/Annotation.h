@@ -47,6 +47,25 @@ public:
   /// calls compose(G, F).
   virtual AnnId compose(AnnId F, AnnId G) const = 0;
 
+  /// Optional O(1)-composition fast path: a dense row of products
+  /// with the left operand fixed, composeRowLhs(F)[G] == compose(F, G)
+  /// for every currently interned G. The solver hoists the row (and
+  /// with it this virtual call) out of its inner closure loops.
+  /// \returns nullptr when no dense table exists; callers must fall
+  /// back to compose(). The pointer is invalidated by interning new
+  /// elements into the domain.
+  virtual const AnnId *composeRowLhs(AnnId F) const {
+    (void)F;
+    return nullptr;
+  }
+
+  /// The transposed fast path, fixing the right operand:
+  /// composeRowRhs(G)[F] == compose(F, G).
+  virtual const AnnId *composeRowRhs(AnnId G) const {
+    (void)G;
+    return nullptr;
+  }
+
   /// \returns true if no extension of a word in class \p F can be in
   /// L(M); the solver may drop such annotations (Section 3.1).
   virtual bool isUseless(AnnId F) const {

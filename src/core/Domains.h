@@ -45,6 +45,15 @@ public:
     return 0;
   }
   bool isAccepting(AnnId) const override { return true; }
+  const AnnId *composeRowLhs(AnnId F) const override {
+    assert(F == 0 && "trivial domain has one element");
+    (void)F;
+    static constexpr AnnId Row[1] = {0};
+    return Row;
+  }
+  const AnnId *composeRowRhs(AnnId G) const override {
+    return composeRowLhs(G);
+  }
   size_t size() const override { return 1; }
   std::string toString(AnnId) const override { return "eps"; }
 };
@@ -68,6 +77,12 @@ public:
   bool isUseless(AnnId F) const override { return Mon->isUseless(F); }
   bool isAccepting(AnnId F) const override {
     return Mon->acceptingFromStart(F);
+  }
+  const AnnId *composeRowLhs(AnnId F) const override {
+    return Mon->composeRowLhs(F);
+  }
+  const AnnId *composeRowRhs(AnnId G) const override {
+    return Mon->composeRowRhs(G);
   }
   size_t size() const override { return Mon->size(); }
   std::string toString(AnnId F) const override { return Mon->toString(F); }

@@ -6,10 +6,39 @@
 
 #include "core/Solver.h"
 
+#include "support/FlatSet.h"
+
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 
 using namespace rasc;
+
+namespace {
+
+/// Resolves SolverOptions::Dedup against the domain size observed at
+/// solver construction.
+EdgeDedup::Backend pickDedupBackend(const SolverOptions &Opts,
+                                    const AnnotationDomain &D) {
+  switch (Opts.Dedup) {
+  case SolverOptions::DedupBackend::Bitset:
+    return EdgeDedup::Backend::Bitset;
+  case SolverOptions::DedupBackend::FlatSet:
+    return EdgeDedup::Backend::Flat;
+  case SolverOptions::DedupBackend::Auto:
+    break;
+  }
+  return D.size() <= Opts.AnnBitsetThreshold ? EdgeDedup::Backend::Bitset
+                                             : EdgeDedup::Backend::Flat;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
 
 const std::vector<AnnId> &AtomReachability::annotations(VarId V) const {
   static const std::vector<AnnId> Empty;
@@ -37,7 +66,9 @@ std::vector<ConsId> AtomReachability::witnessStack(VarId V,
 
 BidirectionalSolver::BidirectionalSolver(const ConstraintSystem &CS,
                                          SolverOptions Opts)
-    : CS(CS), Options(Opts) {}
+    : CS(CS), Options(Opts),
+      EdgeSeen(pickDedupBackend(Opts, CS.domain()), CS.domain().size()),
+      FnVarSeen(pickDedupBackend(Opts, CS.domain()), CS.domain().size()) {}
 
 VarId BidirectionalSolver::rep(VarId V) const {
   VarReps.grow(V + 1);
@@ -46,18 +77,34 @@ VarId BidirectionalSolver::rep(VarId V) const {
 
 void BidirectionalSolver::growTo(ExprId E) {
   size_t Need = std::max<size_t>(E + 1, CS.numExprs());
-  if (Succs.size() < Need) {
-    Succs.resize(Need);
-    Preds.resize(Need);
+  if (Succs.numNodes() < Need) {
+    size_t Old = Succs.numNodes();
+    Succs.ensureNodes(Need);
+    Preds.ensureNodes(Need);
     Watchers.resize(Need);
+    SuccDone.resize(Need, 0);
+    PredDone.resize(Need, 0);
+    // Every id below numExprs() is interned by now, so the kind cache
+    // can be filled for the whole new range.
+    NodeKind.resize(Need);
+    for (size_t I = Old; I != Need; ++I)
+      NodeKind[I] = static_cast<uint8_t>(CS.expr(I).Kind);
   }
+}
+
+ExprId BidirectionalSolver::varNode(VarId V) {
+  if (V >= VarNode.size())
+    VarNode.resize(std::max<size_t>(CS.numVars(), V + 1), InvalidExpr);
+  if (VarNode[V] == InvalidExpr)
+    VarNode[V] = CS.var(V);
+  return VarNode[V];
 }
 
 ExprId BidirectionalSolver::canonicalize(ExprId E) {
   const Expr &Ex = CS.expr(E);
   switch (Ex.Kind) {
   case ExprKind::Var:
-    return CS.var(rep(Ex.V));
+    return varNode(rep(Ex.V));
   case ExprKind::Cons: {
     std::vector<VarId> Args;
     Args.reserve(Ex.Args.size());
@@ -171,36 +218,31 @@ void BidirectionalSolver::ingest(const Constraint &C) {
   }
 
   // Projection constraint c^-i(Y) ⊆^g Z: register a watcher on Y and
-  // replay the constructor lower bounds Y already has.
+  // replay the constructor lower bounds Y already has. (LE.V and RE.V
+  // are representatives: canonicalize rewrote them above.)
   const Expr &RE = CS.expr(R);
   assert(RE.Kind == ExprKind::Var && "checked by ConstraintSystem::add");
-  ExprId YNode = CS.var(LE.V);
+  ExprId YNode = varNode(LE.V);
   growTo(YNode);
   Watchers[YNode].push_back({LE.C, LE.Index, RE.V, C.Ann});
 
-  // Copy: addEdge below may reallocate the adjacency vectors.
-  auto Existing = Preds[YNode];
-  for (auto [Src, F] : Existing) {
+  // Snapshot by count: addEdge below appends, but appends never
+  // invalidate an in-flight forEach (support/Adjacency.h).
+  Preds.forEach(YNode, [&](ExprId Src, AnnId F) {
     const Expr &SE = CS.expr(Src);
     if (SE.Kind != ExprKind::Cons || SE.C != LE.C)
-      continue;
+      return;
     ++Stats.ProjectionSteps;
     ++Stats.ComposeCalls;
-    addEdge(CS.var(SE.Args[LE.Index]), CS.var(RE.V),
+    addEdge(varNode(SE.Args[LE.Index]), varNode(RE.V),
             CS.domain().compose(C.Ann, F));
-  }
+  });
 }
 
-void BidirectionalSolver::addEdge(ExprId Src, ExprId Dst, AnnId Ann) {
-  if (Stat == Status::EdgeLimit)
-    return;
+void BidirectionalSolver::insertFreshEdge(ExprId Src, ExprId Dst,
+                                          AnnId Ann) {
   if (Options.FilterUseless && CS.domain().isUseless(Ann)) {
     ++Stats.UselessFiltered;
-    return;
-  }
-  Edge E{Src, Dst, Ann};
-  if (!EdgeSet.insert(E).second) {
-    ++Stats.EdgesDropped;
     return;
   }
   if (++Stats.EdgesInserted > Options.MaxEdges) {
@@ -209,18 +251,17 @@ void BidirectionalSolver::addEdge(ExprId Src, ExprId Dst, AnnId Ann) {
   }
   growTo(std::max(Src, Dst));
 
-  const Expr &SE = CS.expr(Src);
-  const Expr &DE = CS.expr(Dst);
-  if (SE.Kind == ExprKind::Cons && DE.Kind == ExprKind::Cons &&
-      SE.C != DE.C) {
+  constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
+  if (NodeKind[Src] == KCons && NodeKind[Dst] == KCons &&
+      CS.expr(Src).C != CS.expr(Dst).C) {
     // Rule 2: constructor mismatch; manifestly inconsistent.
     Conflicts.push_back({Src, Dst, Ann});
     return;
   }
 
-  Succs[Src].emplace_back(Dst, Ann);
-  Preds[Dst].emplace_back(Src, Ann);
-  Pending.push_back(E);
+  Succs.append(Src, Dst, Ann);
+  Preds.append(Dst, Src, Ann);
+  EdgeArena.push_back({Src, Dst, Ann});
 }
 
 void BidirectionalSolver::decompose(const Edge &E) {
@@ -229,57 +270,103 @@ void BidirectionalSolver::decompose(const Edge &E) {
   assert(L.C == R.C && "mismatch handled at insertion");
   ++Stats.DecomposeSteps;
   for (size_t I = 0; I != L.Args.size(); ++I)
-    addEdge(CS.var(L.Args[I]), CS.var(R.Args[I]), E.Ann);
+    addEdge(varNode(L.Args[I]), varNode(R.Args[I]), E.Ann);
   addFnVarConstraint(L.Alpha, E.Ann, R.Alpha);
 }
 
 void BidirectionalSolver::process(const Edge &E) {
   const AnnotationDomain &D = CS.domain();
-  const Expr &SE = CS.expr(E.Src);
-  const Expr &DE = CS.expr(E.Dst);
+  // One-byte kind loads; the full Expr records are only pulled in on
+  // the rare constructor paths (decompose, watcher match).
+  constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
+  constexpr uint8_t KVar = static_cast<uint8_t>(ExprKind::Var);
+  uint8_t SrcKind = NodeKind[E.Src];
+  uint8_t DstKind = NodeKind[E.Dst];
 
-  if (SE.Kind == ExprKind::Cons && DE.Kind == ExprKind::Cons) {
+  if (SrcKind == KCons && DstKind == KCons) {
     decompose(E);
+    ++SuccDone[E.Src];
+    ++PredDone[E.Dst];
     return;
   }
 
-  // Adjacency vectors are append-only; index-based iteration over the
-  // size observed at entry is safe against reallocation, and entries
-  // appended mid-loop are covered when their own edge is processed.
-  if (DE.Kind == ExprKind::Var) {
-    // Transitive rule forward: E then (Dst ⊆^g S).
-    for (size_t I = 0, N = Succs[E.Dst].size(); I != N; ++I) {
-      auto [S, G] = Succs[E.Dst][I];
+  // The transitive rule scans only the processed prefix of the
+  // adjacent list (see SuccDone/PredDone in Solver.h): the join of a
+  // 2-path is performed by whichever edge is processed later, exactly
+  // once. Iteration bounded by a prefix is safe against mid-loop
+  // appends (support/Adjacency.h).
+  if (DstKind == KVar) {
+    // Transitive rule forward: E then (Dst ⊆^g S) gives compose(g,
+    // E.Ann) with g varying — hoist the right-operand row when the
+    // domain has a dense table (Theorem 2.1's table lookup without
+    // the per-iteration virtual call and row multiply).
+    const AnnId *Row = D.composeRowRhs(E.Ann);
+    uint32_t Deg = SuccDone[E.Dst];
+    Stats.ComposeCalls += Deg;
+    // Prefetch pass first: the dedup probes of one chunk are
+    // independent, so their cache misses overlap instead of
+    // serializing (the probe stream has no locality). Only worth it
+    // when the composed annotation is a table lookup and the dedup
+    // table has outgrown the caches.
+    bool Pf = Row && EdgeSeen.prefetchWorthwhile();
+    Succs.forEachChunks(
+        E.Dst, Deg, [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+          if (Pf)
+            for (uint32_t I = 0; I != N; ++I)
+              EdgeSeen.prefetch(E.Src, Ch.Peers[I], Row[Ch.Anns[I]]);
+          for (uint32_t I = 0; I != N; ++I)
+            addEdge(E.Src, Ch.Peers[I],
+                    Row ? Row[Ch.Anns[I]] : D.compose(Ch.Anns[I], E.Ann));
+        });
+    // A self-loop pairs with itself, and neither processing event sees
+    // the other in a processed prefix — join it here explicitly.
+    if (E.Src == E.Dst) {
       ++Stats.ComposeCalls;
-      addEdge(E.Src, S, D.compose(G, E.Ann));
+      addEdge(E.Src, E.Dst, Row ? Row[E.Ann] : D.compose(E.Ann, E.Ann));
     }
     // Projection rule: new constructor lower bound meets watchers.
-    if (SE.Kind == ExprKind::Cons) {
+    if (SrcKind == KCons && !Watchers[E.Dst].empty()) {
+      const Expr &SE = CS.expr(E.Src);
       for (size_t I = 0, N = Watchers[E.Dst].size(); I != N; ++I) {
         Watcher W = Watchers[E.Dst][I];
         if (W.C != SE.C)
           continue;
         ++Stats.ProjectionSteps;
         ++Stats.ComposeCalls;
-        addEdge(CS.var(SE.Args[W.Index]), CS.var(W.Target),
-                D.compose(W.Ann, E.Ann));
+        addEdge(varNode(SE.Args[W.Index]), varNode(W.Target),
+                Row ? Row[W.Ann] : D.compose(W.Ann, E.Ann));
       }
     }
   }
 
-  if (SE.Kind == ExprKind::Var) {
-    // Transitive rule backward: (P ⊆^g Src) then E.
-    for (size_t I = 0, N = Preds[E.Src].size(); I != N; ++I) {
-      auto [P, G] = Preds[E.Src][I];
-      ++Stats.ComposeCalls;
-      addEdge(P, E.Dst, D.compose(E.Ann, G));
-    }
+  if (SrcKind == KVar) {
+    // Transitive rule backward: (P ⊆^g Src) then E gives
+    // compose(E.Ann, g) — the left-operand row.
+    const AnnId *Row = D.composeRowLhs(E.Ann);
+    uint32_t Deg = PredDone[E.Src];
+    Stats.ComposeCalls += Deg;
+    bool Pf = Row && EdgeSeen.prefetchWorthwhile();
+    Preds.forEachChunks(
+        E.Src, Deg, [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+          if (Pf)
+            for (uint32_t I = 0; I != N; ++I)
+              EdgeSeen.prefetch(Ch.Peers[I], E.Dst, Row[Ch.Anns[I]]);
+          for (uint32_t I = 0; I != N; ++I)
+            addEdge(Ch.Peers[I], E.Dst,
+                    Row ? Row[Ch.Anns[I]] : D.compose(E.Ann, Ch.Anns[I]));
+        });
   }
+
+  // E is the next unprocessed entry of Succs[Src] and Preds[Dst]
+  // (appends and processing both follow arena order), so the prefixes
+  // extend by exactly this edge.
+  ++SuccDone[E.Src];
+  ++PredDone[E.Dst];
 }
 
 void BidirectionalSolver::addFnVarConstraint(FnVarId From, AnnId Fn,
                                              FnVarId To) {
-  if (!FnVarSet.insert(Edge{From, To, Fn}).second)
+  if (!FnVarSeen.insert(From, To, Fn))
     return;
   FnVarCons.push_back({From, Fn, To});
   ++Stats.FnVarConstraints;
@@ -289,6 +376,8 @@ void BidirectionalSolver::addFnVarConstraint(FnVarId From, AnnId Fn,
 BidirectionalSolver::Status BidirectionalSolver::solve() {
   if (Stat == Status::EdgeLimit)
     return Stat;
+
+  auto Start = std::chrono::steady_clock::now();
 
   // Cycle elimination only considers the first batch: merging
   // variables after edges exist would orphan bounds recorded on the
@@ -300,17 +389,27 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
   while (NumIngested < Cons.size())
     ingest(Cons[NumIngested++]);
 
-  while (!Pending.empty()) {
+  Stats.IngestSeconds += secondsSince(Start);
+  Start = std::chrono::steady_clock::now();
+
+  // The arena is the worklist: edges enter once at insertion, the
+  // head cursor drains in FIFO order (on EdgeLimit the tail stays
+  // queued, like the old deque).
+  while (PendingHead != EdgeArena.size()) {
     if (Stat == Status::EdgeLimit)
       break;
-    Edge E = Pending.front();
-    Pending.pop_front();
+    Edge E = EdgeArena[PendingHead++]; // by value: process() appends
     process(E);
   }
+
+  Stats.ClosureSeconds += secondsSince(Start);
+  Start = std::chrono::steady_clock::now();
 
   FnVarSolFresh = false;
   if (Options.EagerFunctionVars)
     runEagerFnVars();
+
+  Stats.FnVarSeconds += secondsSince(Start);
 
   if (Stat != Status::EdgeLimit)
     Stat = Conflicts.empty() ? Status::Solved : Status::Inconsistent;
@@ -320,51 +419,52 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
 std::vector<std::pair<ExprId, AnnId>>
 BidirectionalSolver::consLowerBounds(VarId V) const {
   std::vector<std::pair<ExprId, AnnId>> Out;
-  ExprId Node = CS.var(rep(V));
-  if (Node >= Preds.size())
+  ExprId Node = varNodeIfAny(rep(V));
+  if (Node == InvalidExpr || Node >= Preds.numNodes())
     return Out;
-  for (auto [Src, Ann] : Preds[Node])
+  Preds.forEach(Node, [&](ExprId Src, AnnId Ann) {
     if (CS.expr(Src).Kind == ExprKind::Cons)
       Out.emplace_back(Src, Ann);
+  });
   return Out;
 }
 
 std::vector<std::pair<ExprId, AnnId>>
 BidirectionalSolver::consUpperBounds(VarId V) const {
   std::vector<std::pair<ExprId, AnnId>> Out;
-  ExprId Node = CS.var(rep(V));
-  if (Node >= Succs.size())
+  ExprId Node = varNodeIfAny(rep(V));
+  if (Node == InvalidExpr || Node >= Succs.numNodes())
     return Out;
-  for (auto [Dst, Ann] : Succs[Node])
+  Succs.forEach(Node, [&](ExprId Dst, AnnId Ann) {
     if (CS.expr(Dst).Kind == ExprKind::Cons)
       Out.emplace_back(Dst, Ann);
+  });
   return Out;
 }
 
 std::vector<std::pair<VarId, AnnId>>
 BidirectionalSolver::varSuccessors(VarId V) const {
   std::vector<std::pair<VarId, AnnId>> Out;
-  ExprId Node = CS.var(rep(V));
-  if (Node >= Succs.size())
+  ExprId Node = varNodeIfAny(rep(V));
+  if (Node == InvalidExpr || Node >= Succs.numNodes())
     return Out;
-  for (auto [Dst, Ann] : Succs[Node]) {
+  Succs.forEach(Node, [&](ExprId Dst, AnnId Ann) {
     const Expr &E = CS.expr(Dst);
     if (E.Kind == ExprKind::Var)
       Out.emplace_back(E.V, Ann);
-  }
+  });
   return Out;
 }
 
 std::vector<AnnId>
 BidirectionalSolver::constantAnnotations(ConsId C, VarId V) const {
-  std::vector<AnnId> Out;
+  AnnSet Seen;
   for (auto [Src, Ann] : consLowerBounds(V)) {
     const Expr &E = CS.expr(Src);
-    if (E.C == C && E.Args.empty() &&
-        std::find(Out.begin(), Out.end(), Ann) == Out.end())
-      Out.push_back(Ann);
+    if (E.C == C && E.Args.empty())
+      Seen.insert(Ann);
   }
-  return Out;
+  return Seen.takeMembers();
 }
 
 bool BidirectionalSolver::entailsConstant(ConsId C, VarId V) const {
@@ -378,13 +478,14 @@ std::vector<std::vector<AnnId>> BidirectionalSolver::fnVarLeastSolution(
     std::span<const std::pair<FnVarId, AnnId>> Seeds) const {
   uint32_t N = CS.numFnVars();
   std::vector<std::vector<AnnId>> Sol(N);
-  std::unordered_set<uint64_t> Seen;
-  std::deque<std::pair<FnVarId, AnnId>> Work;
+  FlatSet64 Seen;
+  std::vector<std::pair<FnVarId, AnnId>> Work;
+  size_t Head = 0;
 
   auto addFact = [&](FnVarId A, AnnId F) {
     if (A >= N)
       return;
-    if (!Seen.insert((static_cast<uint64_t>(A) << 32) | F).second)
+    if (!Seen.insert((static_cast<uint64_t>(A) << 32) | F))
       return;
     Sol[A].push_back(F);
     Work.emplace_back(A, F);
@@ -400,9 +501,8 @@ std::vector<std::vector<AnnId>> BidirectionalSolver::fnVarLeastSolution(
       Index[C.From].emplace_back(C.Fn, C.To);
 
   const AnnotationDomain &D = CS.domain();
-  while (!Work.empty()) {
-    auto [A, F] = Work.front();
-    Work.pop_front();
+  while (Head != Work.size()) {
+    auto [A, F] = Work[Head++];
     for (auto [Fn, To] : Index[A])
       addFact(To, D.compose(Fn, F));
   }
@@ -445,15 +545,16 @@ BidirectionalSolver::atomReachability(ConsId Atom,
 
   // Phase: false = "N" (unmatched projections still allowed), true =
   // "P" (under unmatched constructors). N steps precede P steps.
-  std::deque<std::tuple<VarId, AnnId, bool>> Work;
-  std::unordered_set<uint64_t> Seen;
+  std::vector<std::tuple<VarId, AnnId, bool>> Work;
+  size_t Head = 0;
+  FlatSet64 Seen;
 
   auto addFact = [&](VarId V, AnnId A, bool Phase,
                      AtomReachability::Provenance Prov) {
     uint64_t Key =
         (static_cast<uint64_t>(V) << 33) | (static_cast<uint64_t>(A) << 1) |
         (Phase ? 1 : 0);
-    if (!Seen.insert(Key).second)
+    if (!Seen.insert(Key))
       return;
     uint64_t AnnKey = (static_cast<uint64_t>(V) << 32) | A;
     std::vector<AnnId> &Anns = R.Facts[V];
@@ -464,24 +565,23 @@ BidirectionalSolver::atomReachability(ConsId Atom,
     Work.emplace_back(V, A, Phase);
   };
 
-  for (ExprId Node = 0; Node != Preds.size(); ++Node) {
+  for (ExprId Node = 0; Node != Preds.numNodes(); ++Node) {
     const Expr &NE = CS.expr(Node);
     if (NE.Kind != ExprKind::Var)
       continue;
-    for (auto [Src, Ann] : Preds[Node]) {
+    Preds.forEach(Node, [&](ExprId Src, AnnId Ann) {
       const Expr &SE = CS.expr(Src);
       if (SE.Kind != ExprKind::Cons)
-        continue;
+        return;
       if (SE.C == Atom && SE.Args.empty())
         addFact(NE.V, Ann, /*Phase=*/false, {});
       for (uint32_t I = 0; I != SE.Args.size(); ++I)
         WrapIdx[rep(SE.Args[I])].push_back({NE.V, Ann, SE.C});
-    }
+    });
   }
 
-  while (!Work.empty()) {
-    auto [V, A, Phase] = Work.front();
-    Work.pop_front();
+  while (Head != Work.size()) {
+    auto [V, A, Phase] = Work[Head++];
 
     // P steps: wrap under a constructor flowing somewhere.
     if (auto It = WrapIdx.find(V); It != WrapIdx.end()) {
@@ -499,8 +599,11 @@ BidirectionalSolver::atomReachability(ConsId Atom,
     // N steps (phase N only): follow a projection constraint whose
     // subject contains the atom's context unmatched, and then plain
     // variable flow from the landing spot (which the closure has not
-    // pre-propagated, unlike the initial facts).
-    ExprId Node = CS.var(V);
+    // pre-propagated, unlike the initial facts). V is a
+    // representative, so the VarNode index applies.
+    ExprId Node = varNodeIfAny(V);
+    if (Node == InvalidExpr)
+      continue;
     if (Node < Watchers.size()) {
       for (const Watcher &W : Watchers[Node]) {
         AnnId Out = D.compose(W.Ann, A);
@@ -509,16 +612,16 @@ BidirectionalSolver::atomReachability(ConsId Atom,
         addFact(rep(W.Target), Out, /*Phase=*/false, {});
       }
     }
-    if (Node < Succs.size()) {
-      for (auto [Dst, G] : Succs[Node]) {
+    if (Node < Succs.numNodes()) {
+      Succs.forEach(Node, [&, A = A](ExprId Dst, AnnId G) {
         const Expr &DE = CS.expr(Dst);
         if (DE.Kind != ExprKind::Var)
-          continue;
+          return;
         AnnId Out = D.compose(G, A);
         if (Options.FilterUseless && D.isUseless(Out))
-          continue;
+          return;
         addFact(DE.V, Out, /*Phase=*/false, {});
-      }
+      });
     }
   }
   return R;
@@ -539,13 +642,10 @@ void BidirectionalSolver::enumerateTerms(VarId V, unsigned MaxDepth,
   // annotation composed with the constructor's own function-variable
   // solution (identity-seeded).
   auto rootAnns = [&](const Expr &SE, AnnId F) {
-    std::vector<AnnId> Roots;
-    for (AnnId A : FnSol[SE.Alpha]) {
-      AnnId Root = D.compose(F, A);
-      if (std::find(Roots.begin(), Roots.end(), Root) == Roots.end())
-        Roots.push_back(Root);
-    }
-    return Roots;
+    AnnSet Roots;
+    for (AnnId A : FnSol[SE.Alpha])
+      Roots.insert(D.compose(F, A));
+    return Roots.takeMembers();
   };
 
   for (auto [Src, F] : consLowerBounds(V)) {
@@ -632,21 +732,23 @@ std::string BidirectionalSolver::toDot(std::string_view Title) const {
   std::ostringstream OS;
   OS << "digraph \"" << Title << "\" {\n  rankdir=LR;\n";
   const AnnotationDomain &D = CS.domain();
-  for (ExprId Node = 0; Node != Succs.size(); ++Node) {
-    if (Succs[Node].empty() && (Node >= Preds.size() || Preds[Node].empty()))
+  for (ExprId Node = 0; Node != Succs.numNodes(); ++Node) {
+    if (Succs.degree(Node) == 0 &&
+        (Node >= Preds.numNodes() || Preds.degree(Node) == 0))
       continue;
     const Expr &E = CS.expr(Node);
     OS << "  n" << Node << " [label=\"" << CS.exprToString(Node)
        << "\", shape="
        << (E.Kind == ExprKind::Var ? "ellipse" : "box") << "];\n";
   }
-  for (ExprId Node = 0; Node != Succs.size(); ++Node)
-    for (auto [Dst, Ann] : Succs[Node]) {
+  for (ExprId Node = 0; Node != Succs.numNodes(); ++Node) {
+    Succs.forEach(Node, [&](ExprId Dst, AnnId Ann) {
       OS << "  n" << Node << " -> n" << Dst;
       if (Ann != D.identity())
         OS << " [label=\"" << D.toString(Ann) << "\"]";
       OS << ";\n";
-    }
+    });
+  }
   OS << "}\n";
   return OS.str();
 }

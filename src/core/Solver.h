@@ -33,12 +33,12 @@
 
 #include "core/ConstraintSystem.h"
 #include "core/GroundTerm.h"
+#include "support/Adjacency.h"
+#include "support/AnnSet.h"
 #include "support/UnionFind.h"
 
-#include <deque>
 #include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace rasc {
@@ -66,9 +66,26 @@ struct SolverOptions {
   /// Status::EdgeLimit (protects the superexponential bidirectional
   /// worst case, Section 4).
   uint64_t MaxEdges = uint64_t(1) << 24;
+
+  /// Edge-dedup data layout (DESIGN.md "Solver data layout"). Bitset
+  /// keeps one annotation bitset per (src, dst) node pair — dedup is
+  /// a test-and-set, ideal while annotation ids are dense and small.
+  /// FlatSet keeps one open-addressed set of packed (src, ann) keys
+  /// per destination — bounded memory per present edge when the
+  /// domain is large or grows without bound.
+  enum class DedupBackend : uint8_t { Auto, Bitset, FlatSet };
+  DedupBackend Dedup = DedupBackend::Auto;
+
+  /// Auto picks Bitset when domain().size() at solver construction is
+  /// at most this, FlatSet otherwise. (A domain that interns past the
+  /// threshold mid-solve stays on its chosen backend; the bitset rows
+  /// widen on demand.)
+  uint32_t AnnBitsetThreshold = 256;
 };
 
-/// Counters for the complexity experiments.
+/// Counters for the complexity experiments. ComposeCalls counts
+/// logical compositions (including those served by a hoisted dense
+/// row rather than an AnnotationDomain::compose call).
 struct SolverStats {
   uint64_t EdgesInserted = 0;
   uint64_t EdgesDropped = 0; // duplicate edges
@@ -78,6 +95,11 @@ struct SolverStats {
   uint64_t ProjectionSteps = 0;
   uint64_t FnVarConstraints = 0;
   uint64_t CollapsedVars = 0;
+
+  // Wall-clock phase timings, accumulated across solve() calls.
+  double IngestSeconds = 0;  ///< canonicalization + surface ingest
+  double ClosureSeconds = 0; ///< worklist transitive/projection closure
+  double FnVarSeconds = 0;   ///< eager function-variable propagation
 };
 
 /// A derived inclusion edge src ⊆^Ann dst between expression nodes.
@@ -234,15 +256,6 @@ private:
     ExprId Src;
     ExprId Dst;
     AnnId Ann;
-    friend bool operator==(const Edge &A, const Edge &B) {
-      return A.Src == B.Src && A.Dst == B.Dst && A.Ann == B.Ann;
-    }
-  };
-  struct EdgeHash {
-    size_t operator()(const Edge &E) const {
-      uint64_t H = hashCombine(E.Src, E.Dst);
-      return static_cast<size_t>(hashCombine(H, E.Ann));
-    }
   };
   struct Watcher {
     ConsId C;
@@ -256,7 +269,27 @@ private:
   ExprId canonicalize(ExprId E);
 
   void ingest(const Constraint &C);
-  void addEdge(ExprId Src, ExprId Dst, AnnId Ann);
+
+  /// Hot shell: limit check + dedup probe (the overwhelmingly common
+  /// duplicate exit), defined inline so the closure's scan loops pay
+  /// no call overhead for a duplicate; fresh edges fall through to
+  /// the out-of-line cold path below.
+  void addEdge(ExprId Src, ExprId Dst, AnnId Ann) {
+    if (Stat == Status::EdgeLimit)
+      return;
+    // Dedup before the useless filter: duplicates are the
+    // overwhelming majority of attempts on dense workloads, and the
+    // probe is one cache line while isUseless() is a virtual call. A
+    // useless edge thus claims its dedup bit on first sight and
+    // repeats count as dropped, which only shifts stats between the
+    // two counters.
+    if (!EdgeSeen.insert(Src, Dst, Ann)) {
+      ++Stats.EdgesDropped;
+      return;
+    }
+    insertFreshEdge(Src, Dst, Ann);
+  }
+  void insertFreshEdge(ExprId Src, ExprId Dst, AnnId Ann);
   void process(const Edge &E);
   void decompose(const Edge &E);
   void addFnVarConstraint(FnVarId From, AnnId Fn, FnVarId To);
@@ -266,6 +299,18 @@ private:
     return CS.expr(E).Kind == ExprKind::Var;
   }
   void growTo(ExprId E);
+
+  /// The expression node of (representative) variable \p V, interned
+  /// on first use and recorded in the VarNode index. All solving-side
+  /// var-node creation goes through here so that query paths can use
+  /// the O(1) lookup below instead of re-interning via CS.var().
+  ExprId varNode(VarId V);
+
+  /// Query-side O(1) lookup: the node of representative \p V, or
+  /// InvalidExpr if solving never touched it (then it has no bounds).
+  ExprId varNodeIfAny(VarId V) const {
+    return V < VarNode.size() ? VarNode[V] : InvalidExpr;
+  }
 
   void enumerateTerms(VarId V, unsigned MaxDepth, size_t MaxCount,
                       std::vector<VarId> &Visiting,
@@ -281,20 +326,43 @@ private:
   // Cycle elimination: variable representatives.
   mutable UnionFind VarReps;
 
-  // Graph. Indexed by ExprId (grown on demand).
-  std::vector<std::vector<std::pair<ExprId, AnnId>>> Succs;
-  std::vector<std::vector<std::pair<ExprId, AnnId>>> Preds;
+  // Graph. Chunked SoA adjacency indexed by ExprId (grown on demand);
+  // see support/Adjacency.h.
+  AdjacencyLists Succs;
+  AdjacencyLists Preds;
   std::vector<std::vector<Watcher>> Watchers; // on var nodes
-  std::unordered_set<Edge, EdgeHash> EdgeSet;
-  std::deque<Edge> Pending;
+
+  // Dense ExprKind per node, filled by growTo: the closure inner loop
+  // only needs the kind to route an edge, and a one-byte load beats
+  // pulling in the full Expr record (args vector and all) per edge.
+  std::vector<uint8_t> NodeKind;
+
+  // Processed-prefix lengths per node: edges are appended to both
+  // adjacency lists in arena order and processed in arena order, so
+  // the already-processed entries of any list form a prefix. The
+  // transitive rule scans only that prefix: a 2-path is joined exactly
+  // once, by whichever of its two edges is processed later (the other
+  // is in the prefix by then), instead of up to twice with full-list
+  // scans.
+  std::vector<uint32_t> SuccDone;
+  std::vector<uint32_t> PredDone;
+
+  // Edge dedup (annotation bitsets or per-destination flat sets; see
+  // SolverOptions::Dedup) and the edge arena. The arena doubles as
+  // the FIFO worklist: every edge is enqueued exactly once, so the
+  // ring never wraps and the head cursor suffices.
+  EdgeDedup EdgeSeen;
+  std::vector<Edge> EdgeArena;
+  size_t PendingHead = 0;
   std::vector<SolvedEdge> Conflicts;
 
   std::vector<FnVarConstraint> FnVarCons;
-  std::unordered_set<Edge, EdgeHash> FnVarSet; // dedup of FnVarCons
+  EdgeDedup FnVarSeen; // dedup of FnVarCons
   mutable std::vector<std::vector<AnnId>> EagerFnVarSol;
   mutable bool FnVarSolFresh = false;
 
-  // VarId -> ExprId node (or InvalidExpr), for query-side lookups.
+  // VarId -> ExprId node (or InvalidExpr), for query-side lookups
+  // without re-interning through CS.var()'s hash-cons table.
   std::vector<ExprId> VarNode;
 };
 

@@ -22,6 +22,28 @@
 
 namespace rasc {
 
+/// Finalizer of splitmix64: a full-avalanche mix of one 64-bit value.
+/// Used directly by the open-addressed tables (support/FlatSet.h) and
+/// as the hasher for packed-pair keys, where the identity hash of the
+/// standard containers would cluster dense ids into adjacent buckets.
+inline uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+/// Hash functor applying mix64 to an integral key (e.g. two 32-bit
+/// ids packed into a uint64_t).
+struct Mix64Hash {
+  size_t operator()(uint64_t Key) const {
+    return static_cast<size_t>(mix64(Key));
+  }
+};
+
 /// Mixes \p Value into the running hash \p Seed.
 inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
   // 64-bit variant of boost::hash_combine with a splitmix-style finalizer.

@@ -59,25 +59,9 @@ struct RandomSystem {
   std::vector<VarId> Vars;
 };
 
-RandomSystem randomSystem(Rng &R) {
-  RandomSystem Sys;
-  Sys.Dom = std::make_unique<MonoidDomain>(
-      randomDfa(R, 2 + R.below(3), 2 + R.below(2)));
-  Sys.CS = std::make_unique<ConstraintSystem>(*Sys.Dom);
-
-  unsigned NumConsts = 1 + R.below(2);
-  for (unsigned I = 0; I != NumConsts; ++I)
-    Sys.Constants.push_back(
-        Sys.CS->addConstant("k" + std::to_string(I)));
-  unsigned NumCtors = 1 + R.below(2);
-  for (unsigned I = 0; I != NumCtors; ++I)
-    Sys.Constructors.push_back(Sys.CS->addConstructor(
-        "c" + std::to_string(I), 1 + static_cast<uint32_t>(R.below(2))));
-
-  unsigned NumVars = 3 + R.below(5);
-  for (unsigned I = 0; I != NumVars; ++I)
-    Sys.Vars.push_back(Sys.CS->freshVar());
-
+/// Appends \p NumCons random constraints (all surface forms, including
+/// projections) to an existing system.
+void addRandomConstraints(RandomSystem &Sys, Rng &R, unsigned NumCons) {
   auto randVar = [&] {
     return Sys.Vars[R.below(Sys.Vars.size())];
   };
@@ -96,7 +80,6 @@ RandomSystem randomSystem(Rng &R) {
     return Sys.CS->cons(C, std::move(Args));
   };
 
-  unsigned NumCons = 4 + R.below(10);
   for (unsigned I = 0; I != NumCons; ++I) {
     switch (R.below(6)) {
     case 0:
@@ -125,6 +108,33 @@ RandomSystem randomSystem(Rng &R) {
     }
     }
   }
+}
+
+/// Domain, symbols, and variables only — no constraints yet.
+RandomSystem randomSkeleton(Rng &R) {
+  RandomSystem Sys;
+  Sys.Dom = std::make_unique<MonoidDomain>(
+      randomDfa(R, 2 + R.below(3), 2 + R.below(2)));
+  Sys.CS = std::make_unique<ConstraintSystem>(*Sys.Dom);
+
+  unsigned NumConsts = 1 + R.below(2);
+  for (unsigned I = 0; I != NumConsts; ++I)
+    Sys.Constants.push_back(
+        Sys.CS->addConstant("k" + std::to_string(I)));
+  unsigned NumCtors = 1 + R.below(2);
+  for (unsigned I = 0; I != NumCtors; ++I)
+    Sys.Constructors.push_back(Sys.CS->addConstructor(
+        "c" + std::to_string(I), 1 + static_cast<uint32_t>(R.below(2))));
+
+  unsigned NumVars = 3 + R.below(5);
+  for (unsigned I = 0; I != NumVars; ++I)
+    Sys.Vars.push_back(Sys.CS->freshVar());
+  return Sys;
+}
+
+RandomSystem randomSystem(Rng &R) {
+  RandomSystem Sys = randomSkeleton(R);
+  addRandomConstraints(Sys, R, 4 + R.below(10));
   return Sys;
 }
 
@@ -191,6 +201,85 @@ TEST_P(SolverDifferential, OptionsDoNotChangeQueries) {
       EXPECT_EQ(Accepting(A.constantAnnotations(K, V)),
                 Accepting(B.constantAnnotations(K, V)))
           << "seed " << GetParam();
+    }
+}
+
+TEST_P(SolverDifferential, DedupBackendsMatchReference) {
+  // Both edge-dedup backends (annotation bitsets and per-destination
+  // flat sets) must compute the identical closure; Auto merely picks
+  // between them by domain size.
+  Rng R(GetParam() ^ 0xded09);
+  RandomSystem Sys = randomSystem(R);
+
+  ReferenceSolver Ref(*Sys.CS);
+  bool RefConsistent = Ref.solve();
+
+  for (SolverOptions::DedupBackend Backend :
+       {SolverOptions::DedupBackend::Bitset,
+        SolverOptions::DedupBackend::FlatSet}) {
+    SolverOptions Opts;
+    Opts.FilterUseless = false;
+    Opts.CycleElimination = false;
+    Opts.Dedup = Backend;
+    BidirectionalSolver Fast(*Sys.CS, Opts);
+    BidirectionalSolver::Status St = Fast.solve();
+    ASSERT_NE(St, BidirectionalSolver::Status::EdgeLimit);
+    EXPECT_EQ(RefConsistent, St == BidirectionalSolver::Status::Solved)
+        << "seed " << GetParam();
+
+    for (ConsId K : Sys.Constants)
+      for (VarId V : Sys.Vars) {
+        std::vector<AnnId> A = Fast.constantAnnotations(K, V);
+        std::sort(A.begin(), A.end());
+        EXPECT_EQ(A, Ref.constantAnnotations(K, V))
+            << "backend "
+            << (Backend == SolverOptions::DedupBackend::Bitset ? "bitset"
+                                                               : "flatset")
+            << ", seed " << GetParam();
+      }
+  }
+}
+
+TEST_P(SolverDifferential, OnlineSolveMatchesFromScratch) {
+  // Constraints appended after a solve() must be picked up by the next
+  // solve() and land in the same least solution as solving everything
+  // from scratch (and as the reference). The generator emits
+  // projection constraints too, so the watcher-replay path in ingest
+  // is exercised with a half-closed graph.
+  Rng R(GetParam() ^ 0x0411e);
+  RandomSystem Sys = randomSkeleton(R);
+  unsigned FirstBatch = 2 + R.below(6);
+  unsigned SecondBatch = 2 + R.below(6);
+
+  SolverOptions Opts;
+  Opts.FilterUseless = false;
+  Opts.CycleElimination = false;
+
+  addRandomConstraints(Sys, R, FirstBatch);
+  BidirectionalSolver Online(*Sys.CS, Opts);
+  ASSERT_NE(Online.solve(), BidirectionalSolver::Status::EdgeLimit);
+
+  addRandomConstraints(Sys, R, SecondBatch);
+  BidirectionalSolver::Status St = Online.solve();
+  ASSERT_NE(St, BidirectionalSolver::Status::EdgeLimit);
+
+  BidirectionalSolver Scratch(*Sys.CS, Opts);
+  EXPECT_EQ(Scratch.solve(), St) << "seed " << GetParam();
+
+  ReferenceSolver Ref(*Sys.CS);
+  bool RefConsistent = Ref.solve();
+  EXPECT_EQ(RefConsistent, St == BidirectionalSolver::Status::Solved)
+      << "seed " << GetParam();
+
+  for (ConsId K : Sys.Constants)
+    for (VarId V : Sys.Vars) {
+      std::vector<AnnId> A = Online.constantAnnotations(K, V);
+      std::vector<AnnId> B = Scratch.constantAnnotations(K, V);
+      std::sort(A.begin(), A.end());
+      std::sort(B.begin(), B.end());
+      EXPECT_EQ(A, B) << "online vs scratch, seed " << GetParam();
+      EXPECT_EQ(A, Ref.constantAnnotations(K, V))
+          << "online vs reference, seed " << GetParam();
     }
 }
 

@@ -269,6 +269,41 @@ TEST(Solver, CycleElimination) {
   EXPECT_TRUE(S.entailsConstant(C, Z));
 }
 
+TEST(Solver, VarNodeIndexAfterCycleCollapse) {
+  // Query paths route VarId -> node through the solver's VarNode
+  // index (not CS.var() re-interning). After cycle collapse every
+  // member of a collapsed SCC must resolve to the representative's
+  // node, and consLowerBounds must surface bounds recorded there.
+  TrivialDomain Dom;
+  ConstraintSystem CS(Dom);
+  ConsId C = CS.addConstant("c");
+  VarId X = CS.freshVar(), Y = CS.freshVar(), Z = CS.freshVar();
+  VarId Untouched = CS.freshVar();
+  CS.add(CS.var(X), CS.var(Y));
+  CS.add(CS.var(Y), CS.var(X));
+  CS.add(CS.cons(C), CS.var(Y));
+  CS.add(CS.var(Y), CS.var(Z));
+
+  SolverOptions Opts;
+  Opts.CycleElimination = true;
+  BidirectionalSolver S(CS, Opts);
+  ASSERT_EQ(S.solve(), BidirectionalSolver::Status::Solved);
+  ASSERT_EQ(S.rep(X), S.rep(Y));
+
+  // Both cycle members see the constant lower bound through the
+  // shared representative node, and so does the downstream variable.
+  for (VarId V : {X, Y, Z}) {
+    auto Bounds = S.consLowerBounds(V);
+    ASSERT_EQ(Bounds.size(), 1u) << "var " << CS.varName(V);
+    EXPECT_EQ(CS.expr(Bounds[0].first).C, C);
+  }
+  // A variable that never appeared in any constraint has no node in
+  // the index and therefore no bounds (and must not crash).
+  EXPECT_TRUE(S.consLowerBounds(Untouched).empty());
+  EXPECT_TRUE(S.consUpperBounds(Untouched).empty());
+  EXPECT_TRUE(S.varSuccessors(Untouched).empty());
+}
+
 TEST(Solver, AnnotatedCycleNotCollapsed) {
   MonoidDomain Dom(buildOneBitMachine());
   ConstraintSystem CS(Dom);
