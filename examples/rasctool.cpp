@@ -7,8 +7,21 @@
 /// \file
 /// A small command-line driver for textual constraint problems:
 ///
-///   rasctool file.rasc     solve the file and answer its queries
-///   rasctool               run the embedded demo (Example 2.4)
+///   rasctool [options] file.rasc   solve the file and answer its queries
+///   rasctool [options]             run the embedded demo (Example 2.4)
+///
+/// Options (resource governance; see DESIGN.md section 7):
+///
+///   --max-edges N    stop after N inserted edges (0 = unlimited)
+///   --step-budget N  stop after N compose steps (0 = unlimited)
+///   --deadline S     wall-clock budget in seconds (0 = none)
+///   --no-resume      report an interrupted solve instead of resuming
+///   --explain        on inconsistency, print a derivation witness
+///
+/// An interrupted solve is resumed with the budgets lifted (unless
+/// --no-resume), demonstrating the solver's resumability contract:
+/// the second solve() continues from the persisted closure state and
+/// reaches the same fixpoint a fresh unbudgeted run would.
 ///
 /// See frontend/ConstraintParser.h for the file format.
 ///
@@ -17,12 +30,15 @@
 #include "frontend/ConstraintParser.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 using namespace rasc;
 
 namespace {
+
+using Status = BidirectionalSolver::Status;
 
 const char *Demo = R"(# Example 2.4 (paper Section 2.4) over the 1-bit language.
 language regex "(g | k)* g";
@@ -42,12 +58,36 @@ query c in Z;
 query pn c in Z;
 )";
 
-int run(const std::string &Source, const char *Name) {
-  std::string Err;
-  std::optional<ConstraintProgram> P =
-      ConstraintProgram::parse(Source, &Err);
+const char *statusName(Status S) {
+  switch (S) {
+  case Status::Solved:
+    return "solved";
+  case Status::Inconsistent:
+    return "inconsistent";
+  case Status::EdgeLimit:
+    return "edge limit";
+  case Status::StepLimit:
+    return "step limit";
+  case Status::Deadline:
+    return "deadline";
+  case Status::MemoryLimit:
+    return "memory limit";
+  case Status::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+struct CliOptions {
+  SolverOptions Solver;
+  bool Resume = true;
+  bool Explain = false;
+};
+
+int run(const std::string &Source, const char *Name, CliOptions Cli) {
+  Expected<ConstraintProgram> P = ConstraintProgram::parseEx(Source);
   if (!P) {
-    std::fprintf(stderr, "%s: %s\n", Name, Err.c_str());
+    std::fprintf(stderr, "%s: %s\n", Name, P.error().render().c_str());
     return 1;
   }
 
@@ -57,14 +97,44 @@ int run(const std::string &Source, const char *Name) {
               Name, P->system().constraints().size(),
               Dom.machine().numStates(), Dom.size());
 
-  SolverStats Stats;
-  auto Answers = P->solveAndAnswer({}, &Stats);
-  std::printf("solved: %llu edges, %llu compositions, %llu function "
-              "constraints\n\n",
+  Cli.Solver.TrackProvenance |= Cli.Explain;
+  BidirectionalSolver Solver(P->system(), Cli.Solver);
+  Status S = Solver.solve();
+  while (BidirectionalSolver::isInterrupted(S)) {
+    std::printf("interrupted (%s) after %llu edges, %llu compositions\n",
+                statusName(S),
+                static_cast<unsigned long long>(
+                    Solver.stats().EdgesInserted),
+                static_cast<unsigned long long>(
+                    Solver.stats().ComposeCalls));
+    if (!Cli.Resume)
+      return 2;
+    std::printf("resuming with budgets lifted...\n");
+    Solver.options().MaxEdges = 0;
+    Solver.options().MaxComposeSteps = 0;
+    Solver.options().DeadlineSeconds = 0;
+    Solver.options().MaxMemoryBytes = 0;
+    S = Solver.solve();
+  }
+
+  const SolverStats &Stats = Solver.stats();
+  std::printf("%s: %llu edges, %llu compositions, %llu function "
+              "constraints%s\n\n",
+              statusName(S),
               static_cast<unsigned long long>(Stats.EdgesInserted),
               static_cast<unsigned long long>(Stats.ComposeCalls),
-              static_cast<unsigned long long>(Stats.FnVarConstraints));
-  for (const ConstraintProgram::Answer &A : Answers)
+              static_cast<unsigned long long>(Stats.FnVarConstraints),
+              Stats.Resumes ? " (resumed)" : "");
+
+  if (S == Status::Inconsistent && Cli.Explain &&
+      !Solver.conflicts().empty()) {
+    std::printf("why inconsistent:\n");
+    for (const std::string &Line : Solver.conflictWitness(0))
+      std::printf("  %s\n", Line.c_str());
+    std::printf("\n");
+  }
+
+  for (const ConstraintProgram::Answer &A : P->answer(Solver))
     std::printf("  %-40s %s\n", A.Q->Text.c_str(),
                 A.Holds ? "holds" : "does not hold");
   return 0;
@@ -73,17 +143,53 @@ int run(const std::string &Source, const char *Name) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  if (Argc < 2) {
+  CliOptions Cli;
+  const char *Path = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    auto numArg = [&](uint64_t &Out) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s needs a value\n", Argv[I]);
+        return false;
+      }
+      Out = std::strtoull(Argv[++I], nullptr, 10);
+      return true;
+    };
+    if (Arg == "--max-edges") {
+      if (!numArg(Cli.Solver.MaxEdges))
+        return 1;
+    } else if (Arg == "--step-budget") {
+      if (!numArg(Cli.Solver.MaxComposeSteps))
+        return 1;
+    } else if (Arg == "--deadline") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--deadline needs a value\n");
+        return 1;
+      }
+      Cli.Solver.DeadlineSeconds = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--no-resume") {
+      Cli.Resume = false;
+    } else if (Arg == "--explain") {
+      Cli.Explain = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", Argv[I]);
+      return 1;
+    } else {
+      Path = Argv[I];
+    }
+  }
+
+  if (!Path) {
     std::printf("(no input file; running the embedded Example 2.4 "
                 "demo)\n\n");
-    return run(Demo, "demo");
+    return run(Demo, "demo", Cli);
   }
-  std::ifstream File(Argv[1]);
+  std::ifstream File(Path);
   if (!File) {
-    std::fprintf(stderr, "cannot open %s\n", Argv[1]);
+    std::fprintf(stderr, "cannot open %s\n", Path);
     return 1;
   }
   std::ostringstream SS;
   SS << File.rdbuf();
-  return run(SS.str(), Argv[1]);
+  return run(SS.str(), Path, Cli);
 }

@@ -10,16 +10,28 @@
 
 #include <cctype>
 #include <memory>
+#include <vector>
 
 using namespace rasc;
 
 namespace {
 
-/// Regex AST.
+/// Hostile-input containment. Nesting is capped so recursive descent
+/// (and the recursive AST walks below) cannot overflow the stack, and
+/// the pattern length is capped so a single regex cannot consume
+/// unbounded memory. Flat sequences ("a b c ...", "a|b|c|...") are
+/// folded into *balanced* trees, so AST depth is O(MaxNesting +
+/// log(pattern length)) rather than linear in the pattern.
+constexpr unsigned MaxNesting = 500;
+constexpr size_t MaxPatternBytes = 1u << 20;
+
+/// Regex AST. Plus is a dedicated node kind (not desugared to "A A*")
+/// so that repetition never duplicates subtrees: "a++++..." used to
+/// clone the operand per '+', doubling the AST each time.
 struct Regex {
-  enum KindTy { Empty, Epsilon, Symbol, Concat, Alt, Star } Kind;
-  std::string Name;                     // Symbol
-  std::unique_ptr<Regex> Lhs, Rhs;      // Concat / Alt / Star (Lhs only)
+  enum KindTy { Empty, Epsilon, Symbol, Concat, Alt, Star, Plus } Kind;
+  std::string Name;                // Symbol
+  std::unique_ptr<Regex> Lhs, Rhs; // Concat / Alt; Star / Plus use Lhs only
 
   explicit Regex(KindTy K) : Kind(K) {}
 };
@@ -34,13 +46,35 @@ RegexPtr makeNode(Regex::KindTy K, RegexPtr L = nullptr,
   return N;
 }
 
+/// Folds \p Parts into a balanced binary tree of \p K nodes by
+/// repeated pairwise combination. Depth is ceil(log2(n)).
+RegexPtr foldBalanced(std::vector<RegexPtr> Parts, Regex::KindTy K) {
+  while (Parts.size() > 1) {
+    std::vector<RegexPtr> Next;
+    Next.reserve(Parts.size() / 2 + 1);
+    size_t I = 0;
+    for (; I + 1 < Parts.size(); I += 2)
+      Next.push_back(
+          makeNode(K, std::move(Parts[I]), std::move(Parts[I + 1])));
+    if (I < Parts.size())
+      Next.push_back(std::move(Parts[I]));
+    Parts = std::move(Next);
+  }
+  return std::move(Parts.front());
+}
+
 /// Recursive-descent parser.
 class Parser {
 public:
-  Parser(std::string_view Input, std::string *Error)
-      : Input(Input), Error(Error) {}
+  explicit Parser(std::string_view Input) : Input(Input) {}
+
+  Diag takeErr() { return Err ? *Err : Diag("regex parse error"); }
 
   RegexPtr parse() {
+    if (Input.size() > MaxPatternBytes) {
+      fail("regex pattern too large");
+      return nullptr;
+    }
     RegexPtr R = parseAlt();
     if (!R)
       return nullptr;
@@ -69,37 +103,45 @@ private:
   }
 
   void fail(std::string_view Msg) {
-    if (Error && Error->empty())
-      *Error = std::string(Msg) + " at offset " + std::to_string(Pos);
+    // The column is the 1-based offset into the pattern; callers
+    // embedding a regex in a larger file rebase it onto file
+    // coordinates.
+    if (!Err)
+      Err = Diag(std::string(Msg),
+                 SourceLoc{1, static_cast<uint32_t>(Pos + 1)});
   }
 
   RegexPtr parseAlt() {
+    std::vector<RegexPtr> Arms;
     RegexPtr L = parseCat();
     if (!L)
       return nullptr;
+    Arms.push_back(std::move(L));
     skipSpace();
     while (Pos < Input.size() && Input[Pos] == '|') {
       ++Pos;
       RegexPtr R = parseCat();
       if (!R)
         return nullptr;
-      L = makeNode(Regex::Alt, std::move(L), std::move(R));
+      Arms.push_back(std::move(R));
       skipSpace();
     }
-    return L;
+    return foldBalanced(std::move(Arms), Regex::Alt);
   }
 
   RegexPtr parseCat() {
+    std::vector<RegexPtr> Parts;
     RegexPtr L = parseRep();
     if (!L)
       return nullptr;
+    Parts.push_back(std::move(L));
     while (atAtomStart()) {
       RegexPtr R = parseRep();
       if (!R)
         return nullptr;
-      L = makeNode(Regex::Concat, std::move(L), std::move(R));
+      Parts.push_back(std::move(R));
     }
-    return L;
+    return foldBalanced(std::move(Parts), Regex::Concat);
   }
 
   RegexPtr parseRep() {
@@ -113,13 +155,9 @@ private:
       if (Op == '*') {
         A = makeNode(Regex::Star, std::move(A));
       } else if (Op == '+') {
-        // A+ == A A*  -- duplicate by deep copy.
-        RegexPtr Copy = clone(*A);
-        A = makeNode(Regex::Concat, std::move(A),
-                     makeNode(Regex::Star, std::move(Copy)));
+        A = makeNode(Regex::Plus, std::move(A));
       } else { // '?'
-        A = makeNode(Regex::Alt, std::move(A),
-                     makeNode(Regex::Epsilon));
+        A = makeNode(Regex::Alt, std::move(A), makeNode(Regex::Epsilon));
       }
       skipSpace();
     }
@@ -134,8 +172,14 @@ private:
     }
     char C = Input[Pos];
     if (C == '(') {
+      if (Depth >= MaxNesting) {
+        fail("regex nesting too deep");
+        return nullptr;
+      }
+      ++Depth;
       ++Pos;
       RegexPtr R = parseAlt();
+      --Depth;
       if (!R)
         return nullptr;
       skipSpace();
@@ -168,19 +212,10 @@ private:
     return nullptr;
   }
 
-  static RegexPtr clone(const Regex &R) {
-    auto N = std::make_unique<Regex>(R.Kind);
-    N->Name = R.Name;
-    if (R.Lhs)
-      N->Lhs = clone(*R.Lhs);
-    if (R.Rhs)
-      N->Rhs = clone(*R.Rhs);
-    return N;
-  }
-
   std::string_view Input;
-  std::string *Error;
   size_t Pos = 0;
+  unsigned Depth = 0;
+  std::optional<Diag> Err;
 };
 
 void collectSymbols(const Regex &R, std::vector<std::string> &Out) {
@@ -244,20 +279,28 @@ std::pair<StateId, StateId> thompson(const Regex &R, Nfa &N) {
     N.addEpsilon(AOut, Out);
     break;
   }
+  case Regex::Plus: {
+    // Like Star but without the In->Out bypass: at least one
+    // iteration of the operand is required.
+    auto [AIn, AOut] = thompson(*R.Lhs, N);
+    N.addEpsilon(In, AIn);
+    N.addEpsilon(AOut, AIn);
+    N.addEpsilon(AOut, Out);
+    break;
+  }
   }
   return {In, Out};
 }
 
 } // namespace
 
-std::optional<Nfa>
-rasc::parseRegexToNfa(std::string_view Pattern,
-                      const std::vector<std::string> &ExtraSymbols,
-                      std::string *Error) {
-  Parser P(Pattern, Error);
+Expected<Nfa>
+rasc::parseRegexToNfaEx(std::string_view Pattern,
+                        const std::vector<std::string> &ExtraSymbols) {
+  Parser P(Pattern);
   RegexPtr R = P.parse();
   if (!R)
-    return std::nullopt;
+    return P.takeErr();
 
   std::vector<std::string> Symbols = ExtraSymbols;
   collectSymbols(*R, Symbols);
@@ -269,12 +312,35 @@ rasc::parseRegexToNfa(std::string_view Pattern,
   return N;
 }
 
+Expected<Dfa>
+rasc::compileRegexEx(std::string_view Pattern,
+                     const std::vector<std::string> &ExtraSymbols) {
+  Expected<Nfa> N = parseRegexToNfaEx(Pattern, ExtraSymbols);
+  if (!N)
+    return N.error();
+  return minimize(determinize(*N));
+}
+
+std::optional<Nfa>
+rasc::parseRegexToNfa(std::string_view Pattern,
+                      const std::vector<std::string> &ExtraSymbols,
+                      std::string *Error) {
+  Expected<Nfa> N = parseRegexToNfaEx(Pattern, ExtraSymbols);
+  if (N)
+    return std::move(*N);
+  if (Error && Error->empty())
+    *Error = N.error().render();
+  return std::nullopt;
+}
+
 std::optional<Dfa>
 rasc::compileRegex(std::string_view Pattern,
                    const std::vector<std::string> &ExtraSymbols,
                    std::string *Error) {
-  std::optional<Nfa> N = parseRegexToNfa(Pattern, ExtraSymbols, Error);
-  if (!N)
-    return std::nullopt;
-  return minimize(determinize(*N));
+  Expected<Dfa> D = compileRegexEx(Pattern, ExtraSymbols);
+  if (D)
+    return std::move(*D);
+  if (Error && Error->empty())
+    *Error = D.error().render();
+  return std::nullopt;
 }

@@ -26,6 +26,7 @@
 
 #include "automata/Dfa.h"
 #include "automata/Nfa.h"
+#include "support/Diag.h"
 
 #include <optional>
 #include <string>
@@ -36,13 +37,24 @@ namespace rasc {
 /// Parses \p Pattern into an NFA via Thompson's construction.
 /// \p ExtraSymbols are added to the alphabet even if unused in the
 /// pattern (so machines over a common alphabet can be combined).
-/// On failure returns std::nullopt and fills \p Error.
+/// On failure the Diag's column is the 1-based offset into the
+/// pattern. Hostile input is contained: nesting depth and pattern
+/// length are capped with clean errors, and repetition operators
+/// never duplicate the AST.
+Expected<Nfa>
+parseRegexToNfaEx(std::string_view Pattern,
+                  const std::vector<std::string> &ExtraSymbols = {});
+
+/// Parse, determinize, and minimize; error reporting as above.
+Expected<Dfa>
+compileRegexEx(std::string_view Pattern,
+               const std::vector<std::string> &ExtraSymbols = {});
+
+/// Convenience wrappers rendering the diagnostic into \p Error.
 std::optional<Nfa>
 parseRegexToNfa(std::string_view Pattern,
                 const std::vector<std::string> &ExtraSymbols,
                 std::string *Error);
-
-/// Convenience: parse, determinize, and minimize.
 std::optional<Dfa>
 compileRegex(std::string_view Pattern,
              const std::vector<std::string> &ExtraSymbols = {},

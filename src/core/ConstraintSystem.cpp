@@ -31,6 +31,85 @@ ExprId ConstraintSystem::intern(Expr E) const {
   return Id;
 }
 
+Expected<ExprId> ConstraintSystem::varChecked(VarId V) const {
+  if (V >= VarNames.size()) {
+    LastDiag = Diag("variable id " + std::to_string(V) +
+                    " out of range (system has " +
+                    std::to_string(VarNames.size()) + " variables)");
+    return *LastDiag;
+  }
+  return intern(Expr{ExprKind::Var, 0, 0, V, 0, {}});
+}
+
+Expected<ExprId> ConstraintSystem::consChecked(ConsId C,
+                                               std::vector<VarId> Args) const {
+  if (C >= Constructors.size()) {
+    LastDiag = Diag("constructor id " + std::to_string(C) +
+                    " out of range (system has " +
+                    std::to_string(Constructors.size()) + " constructors)");
+    return *LastDiag;
+  }
+  if (Args.size() != Constructors[C].Arity) {
+    LastDiag = Diag("arity mismatch: constructor '" + Constructors[C].Name +
+                    "' takes " + std::to_string(Constructors[C].Arity) +
+                    " arguments, got " + std::to_string(Args.size()));
+    return *LastDiag;
+  }
+  for (VarId A : Args)
+    if (A >= VarNames.size()) {
+      LastDiag = Diag("argument variable id " + std::to_string(A) +
+                      " of constructor '" + Constructors[C].Name +
+                      "' out of range");
+      return *LastDiag;
+    }
+  return intern(Expr{ExprKind::Cons, C, 0, InvalidVar, 0, std::move(Args)});
+}
+
+Expected<ExprId> ConstraintSystem::projChecked(ConsId C, uint32_t Index,
+                                               VarId Subject) const {
+  if (C >= Constructors.size()) {
+    LastDiag = Diag("constructor id " + std::to_string(C) +
+                    " out of range (system has " +
+                    std::to_string(Constructors.size()) + " constructors)");
+    return *LastDiag;
+  }
+  if (Index >= Constructors[C].Arity) {
+    LastDiag = Diag("projection index " + std::to_string(Index + 1) +
+                    " out of range for constructor '" +
+                    Constructors[C].Name + "' of arity " +
+                    std::to_string(Constructors[C].Arity));
+    return *LastDiag;
+  }
+  if (Subject >= VarNames.size()) {
+    LastDiag = Diag("projection subject variable id " +
+                    std::to_string(Subject) + " out of range");
+    return *LastDiag;
+  }
+  return intern(Expr{ExprKind::Proj, C, Index, Subject, 0, {}});
+}
+
+std::optional<Diag> ConstraintSystem::addChecked(ExprId Lhs, ExprId Rhs,
+                                                 AnnId Ann) {
+  auto fail = [&](std::string Msg) {
+    LastDiag = Diag(std::move(Msg));
+    return LastDiag;
+  };
+  if (Lhs >= Exprs.size() || Rhs >= Exprs.size())
+    return fail("constraint references an invalid expression id");
+  if (Ann >= Domain.size())
+    return fail("annotation id " + std::to_string(Ann) +
+                " out of range (domain has " +
+                std::to_string(Domain.size()) + " classes)");
+  if (Exprs[Rhs].Kind == ExprKind::Proj)
+    return fail("projection on the right-hand side of a constraint");
+  if (Exprs[Lhs].Kind == ExprKind::Proj &&
+      Exprs[Rhs].Kind != ExprKind::Var)
+    return fail("projection constraints need a variable right-hand side; "
+                "introduce an auxiliary variable");
+  ConstraintList.push_back({Lhs, Rhs, Ann});
+  return std::nullopt;
+}
+
 std::string ConstraintSystem::exprToString(ExprId Id) const {
   const Expr &E = expr(Id);
   std::ostringstream OS;

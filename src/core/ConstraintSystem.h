@@ -33,9 +33,11 @@
 #define RASC_CORE_CONSTRAINTSYSTEM_H
 
 #include "core/Annotation.h"
+#include "support/Diag.h"
 #include "support/Hashing.h"
 
 #include <cassert>
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -113,6 +115,9 @@ public:
   uint32_t numVars() const { return static_cast<uint32_t>(VarNames.size()); }
   uint32_t numExprs() const { return static_cast<uint32_t>(Exprs.size()); }
   uint32_t numFnVars() const { return NumFnVars; }
+  uint32_t numConstructors() const {
+    return static_cast<uint32_t>(Constructors.size());
+  }
 
   const std::string &varName(VarId V) const {
     assert(V < VarNames.size() && "variable out of range");
@@ -129,40 +134,53 @@ public:
     return Exprs[E];
   }
 
-  /// The expression node for a variable.
-  ExprId var(VarId V) const {
-    assert(V < VarNames.size() && "variable out of range");
-    return intern(Expr{ExprKind::Var, 0, 0, V, 0, {}});
+  /// \name Checked builders
+  /// Validating variants of var/cons/proj/add for untrusted input
+  /// (frontends, embedders): instead of asserting, a range or arity
+  /// violation comes back as a Diag and the system is left unchanged.
+  /// The failure is also recorded in lastDiag().
+  /// @{
+  Expected<ExprId> varChecked(VarId V) const;
+  Expected<ExprId> consChecked(ConsId C, std::vector<VarId> Args = {}) const;
+  Expected<ExprId> projChecked(ConsId C, uint32_t Index,
+                               VarId Subject) const;
+  std::optional<Diag> addChecked(ExprId Lhs, ExprId Rhs, AnnId Ann);
+  std::optional<Diag> addChecked(ExprId Lhs, ExprId Rhs) {
+    return addChecked(Lhs, Rhs, Domain.identity());
   }
+  /// @}
+
+  /// The most recent checked-builder failure (also set when an
+  /// unchecked builder rejects bad input in a no-assert build).
+  const std::optional<Diag> &lastDiag() const { return LastDiag; }
+
+  /// The expression node for a variable. Like the checked builders,
+  /// the unchecked var/cons/proj/add validate their arguments in
+  /// every build mode; the difference is only how a violation
+  /// surfaces — assert where assertions are on, otherwise an
+  /// InvalidExpr result (builders) or a dropped constraint (add),
+  /// with the Diag in lastDiag(). Passing InvalidExpr onward into
+  /// add() is itself caught, so errors propagate without UB.
+  ExprId var(VarId V) const { return must(varChecked(V)); }
 
   /// The expression c^alpha(Args...); a fresh function variable alpha
   /// is allocated the first time this exact expression is built.
   ExprId cons(ConsId C, std::vector<VarId> Args = {}) const {
-    assert(C < Constructors.size() && "constructor out of range");
-    assert(Args.size() == Constructors[C].Arity && "arity mismatch");
-    return intern(Expr{ExprKind::Cons, C, 0, InvalidVar, 0,
-                       std::move(Args)});
+    return must(consChecked(C, std::move(Args)));
   }
 
   /// The expression c^-Index(Subject) with a 0-based Index (the paper
   /// writes 1-based c^-i).
   ExprId proj(ConsId C, uint32_t Index, VarId Subject) const {
-    assert(C < Constructors.size() && "constructor out of range");
-    assert(Index < Constructors[C].Arity && "projection out of range");
-    return intern(Expr{ExprKind::Proj, C, Index, Subject, 0, {}});
+    return must(projChecked(C, Index, Subject));
   }
 
   /// Adds Lhs ⊆^Ann Rhs. Projections may not appear on the right; a
   /// projection left-hand side requires a variable right-hand side.
   void add(ExprId Lhs, ExprId Rhs, AnnId Ann) {
-    assert(Lhs < Exprs.size() && Rhs < Exprs.size() && "bad expression");
-    assert(Exprs[Rhs].Kind != ExprKind::Proj &&
-           "projection on the right-hand side of a constraint");
-    assert((Exprs[Lhs].Kind != ExprKind::Proj ||
-            Exprs[Rhs].Kind == ExprKind::Var) &&
-           "projection constraints need a variable right-hand side; "
-           "introduce an auxiliary variable");
-    ConstraintList.push_back({Lhs, Rhs, Ann});
+    std::optional<Diag> D = addChecked(Lhs, Rhs, Ann);
+    assert(!D && "invalid constraint; see lastDiag()");
+    (void)D;
   }
 
   /// Adds Lhs ⊆ Rhs with the identity (epsilon) annotation.
@@ -187,10 +205,17 @@ public:
 private:
   ExprId intern(Expr E) const;
 
+  /// Unwraps a checked-builder result for the asserting API.
+  ExprId must(Expected<ExprId> E) const {
+    assert(E && "invalid expression; see lastDiag()");
+    return E ? *E : InvalidExpr;
+  }
+
   const AnnotationDomain &Domain;
   std::vector<Constructor> Constructors;
   std::vector<std::string> VarNames;
   std::vector<Constraint> ConstraintList;
+  mutable std::optional<Diag> LastDiag;
 
   // Hash-consing tables. Interning is logically const (ids are stable
   // and deduplicated), hence mutable.

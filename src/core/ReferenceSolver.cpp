@@ -41,8 +41,10 @@ bool ReferenceSolver::solve() {
     size_t N = Cons.size();
     for (size_t I = 0; I != N; ++I) {
       Constraint A = Cons[I];
-      const Expr &AL = CS.expr(A.Lhs);
-      const Expr &AR = CS.expr(A.Rhs);
+      // By value: CS.var() below interns, which can reallocate the
+      // expr table under any reference into it.
+      const Expr AL = CS.expr(A.Lhs);
+      const Expr AR = CS.expr(A.Rhs);
 
       // Structural rule.
       if (AL.Kind == ExprKind::Cons && AR.Kind == ExprKind::Cons &&
@@ -53,8 +55,8 @@ bool ReferenceSolver::solve() {
 
       for (size_t J = 0; J != N; ++J) {
         Constraint B = Cons[J];
-        const Expr &BL = CS.expr(B.Lhs);
-        const Expr &BR = CS.expr(B.Rhs);
+        const Expr BL = CS.expr(B.Lhs);
+        const Expr BR = CS.expr(B.Rhs);
 
         // Transitive rule: A.Rhs is the middle variable.
         if (AR.Kind == ExprKind::Var && BL.Kind == ExprKind::Var &&

@@ -6,10 +6,14 @@
 
 #include "core/Solver.h"
 
+#include "support/FailPoint.h"
 #include "support/FlatSet.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <map>
+#include <set>
 #include <sstream>
 
 using namespace rasc;
@@ -207,12 +211,16 @@ void BidirectionalSolver::collapseCycles(size_t FirstNew) {
   }
 }
 
-void BidirectionalSolver::ingest(const Constraint &C) {
+void BidirectionalSolver::ingest(const Constraint &C, uint32_t Idx) {
   ExprId L = canonicalize(C.Lhs);
   ExprId R = canonicalize(C.Rhs);
-  const Expr &LE = CS.expr(L);
+  // By value: varNode() below may intern a fresh var expr, and the
+  // interning table can reallocate under any reference into it.
+  const Expr LE = CS.expr(L);
 
   if (LE.Kind != ExprKind::Proj) {
+    if (Options.TrackProvenance)
+      CurProv = {EdgeProv::Rule::Surface, Idx};
     addEdge(L, R, C.Ann);
     return;
   }
@@ -220,11 +228,11 @@ void BidirectionalSolver::ingest(const Constraint &C) {
   // Projection constraint c^-i(Y) ⊆^g Z: register a watcher on Y and
   // replay the constructor lower bounds Y already has. (LE.V and RE.V
   // are representatives: canonicalize rewrote them above.)
-  const Expr &RE = CS.expr(R);
+  const Expr RE = CS.expr(R);
   assert(RE.Kind == ExprKind::Var && "checked by ConstraintSystem::add");
   ExprId YNode = varNode(LE.V);
   growTo(YNode);
-  Watchers[YNode].push_back({LE.C, LE.Index, RE.V, C.Ann});
+  Watchers[YNode].push_back({LE.C, LE.Index, RE.V, C.Ann, Idx});
 
   // Snapshot by count: addEdge below appends, but appends never
   // invalidate an in-flight forEach (support/Adjacency.h).
@@ -232,10 +240,12 @@ void BidirectionalSolver::ingest(const Constraint &C) {
     const Expr &SE = CS.expr(Src);
     if (SE.Kind != ExprKind::Cons || SE.C != LE.C)
       return;
+    VarId Arg = SE.Args[LE.Index]; // before varNode can invalidate SE
     ++Stats.ProjectionSteps;
     ++Stats.ComposeCalls;
-    addEdge(varNode(SE.Args[LE.Index]), varNode(RE.V),
-            CS.domain().compose(C.Ann, F));
+    if (Options.TrackProvenance)
+      CurProv = {EdgeProv::Rule::Projection, Idx, Edge{Src, YNode, F}};
+    addEdge(varNode(Arg), varNode(RE.V), CS.domain().compose(C.Ann, F));
   });
 }
 
@@ -245,10 +255,14 @@ void BidirectionalSolver::insertFreshEdge(ExprId Src, ExprId Dst,
     ++Stats.UselessFiltered;
     return;
   }
-  if (++Stats.EdgesInserted > Options.MaxEdges) {
-    Stat = Status::EdgeLimit;
-    return;
-  }
+  ++Stats.EdgesInserted;
+  // Budgets are enforced between worklist pops (see addEdge): an edge
+  // that passed dedup is always inserted, so the dedup tables and the
+  // arena never disagree across an interrupt. The test-only failpoint
+  // requests an interrupt here but still defers it to the pop loop.
+  if (failpoints::armedAny() &&
+      failpoints::hit(failpoints::Point::SolverEdgeInsert))
+    ForcedInterrupt = Status::MemoryLimit;
   growTo(std::max(Src, Dst));
 
   constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
@@ -256,19 +270,27 @@ void BidirectionalSolver::insertFreshEdge(ExprId Src, ExprId Dst,
       CS.expr(Src).C != CS.expr(Dst).C) {
     // Rule 2: constructor mismatch; manifestly inconsistent.
     Conflicts.push_back({Src, Dst, Ann});
+    if (Options.TrackProvenance)
+      ConflictProvs.push_back(CurProv);
     return;
   }
 
   Succs.append(Src, Dst, Ann);
   Preds.append(Dst, Src, Ann);
   EdgeArena.push_back({Src, Dst, Ann});
+  if (Options.TrackProvenance)
+    EdgeProvs.push_back(CurProv);
 }
 
 void BidirectionalSolver::decompose(const Edge &E) {
-  const Expr &L = CS.expr(E.Src);
-  const Expr &R = CS.expr(E.Dst);
+  // By value: varNode() below may intern fresh var exprs and
+  // reallocate the expr table (see ingest).
+  const Expr L = CS.expr(E.Src);
+  const Expr R = CS.expr(E.Dst);
   assert(L.C == R.C && "mismatch handled at insertion");
   ++Stats.DecomposeSteps;
+  if (Options.TrackProvenance)
+    CurProv = {EdgeProv::Rule::Decompose, ~0u, E};
   for (size_t I = 0; I != L.Args.size(); ++I)
     addEdge(varNode(L.Args[I]), varNode(R.Args[I]), E.Ann);
   addFnVarConstraint(L.Alpha, E.Ann, R.Alpha);
@@ -276,6 +298,7 @@ void BidirectionalSolver::decompose(const Edge &E) {
 
 void BidirectionalSolver::process(const Edge &E) {
   const AnnotationDomain &D = CS.domain();
+  const bool Track = Options.TrackProvenance;
   // One-byte kind loads; the full Expr records are only pulled in on
   // the rare constructor paths (decompose, watcher match).
   constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
@@ -314,25 +337,33 @@ void BidirectionalSolver::process(const Edge &E) {
           if (Pf)
             for (uint32_t I = 0; I != N; ++I)
               EdgeSeen.prefetch(E.Src, Ch.Peers[I], Row[Ch.Anns[I]]);
-          for (uint32_t I = 0; I != N; ++I)
+          for (uint32_t I = 0; I != N; ++I) {
+            if (Track)
+              CurProv = {EdgeProv::Rule::Transitive, ~0u, E,
+                         Edge{E.Dst, Ch.Peers[I], Ch.Anns[I]}};
             addEdge(E.Src, Ch.Peers[I],
                     Row ? Row[Ch.Anns[I]] : D.compose(Ch.Anns[I], E.Ann));
+          }
         });
     // A self-loop pairs with itself, and neither processing event sees
     // the other in a processed prefix — join it here explicitly.
     if (E.Src == E.Dst) {
       ++Stats.ComposeCalls;
+      if (Track)
+        CurProv = {EdgeProv::Rule::Transitive, ~0u, E, E};
       addEdge(E.Src, E.Dst, Row ? Row[E.Ann] : D.compose(E.Ann, E.Ann));
     }
     // Projection rule: new constructor lower bound meets watchers.
     if (SrcKind == KCons && !Watchers[E.Dst].empty()) {
-      const Expr &SE = CS.expr(E.Src);
+      const Expr SE = CS.expr(E.Src); // by value: varNode may intern
       for (size_t I = 0, N = Watchers[E.Dst].size(); I != N; ++I) {
         Watcher W = Watchers[E.Dst][I];
         if (W.C != SE.C)
           continue;
         ++Stats.ProjectionSteps;
         ++Stats.ComposeCalls;
+        if (Track)
+          CurProv = {EdgeProv::Rule::Projection, W.ConsIdx, E};
         addEdge(varNode(SE.Args[W.Index]), varNode(W.Target),
                 Row ? Row[W.Ann] : D.compose(W.Ann, E.Ann));
       }
@@ -351,9 +382,13 @@ void BidirectionalSolver::process(const Edge &E) {
           if (Pf)
             for (uint32_t I = 0; I != N; ++I)
               EdgeSeen.prefetch(Ch.Peers[I], E.Dst, Row[Ch.Anns[I]]);
-          for (uint32_t I = 0; I != N; ++I)
+          for (uint32_t I = 0; I != N; ++I) {
+            if (Track)
+              CurProv = {EdgeProv::Rule::Transitive, ~0u,
+                         Edge{Ch.Peers[I], E.Src, Ch.Anns[I]}, E};
             addEdge(Ch.Peers[I], E.Dst,
                     Row ? Row[Ch.Anns[I]] : D.compose(E.Ann, Ch.Anns[I]));
+          }
         });
   }
 
@@ -373,11 +408,74 @@ void BidirectionalSolver::addFnVarConstraint(FnVarId From, AnnId Fn,
   FnVarSolFresh = false;
 }
 
-BidirectionalSolver::Status BidirectionalSolver::solve() {
-  if (Stat == Status::EdgeLimit)
-    return Stat;
+BidirectionalSolver::Status
+BidirectionalSolver::governanceCheck(std::chrono::steady_clock::time_point Start) {
+  ++Stats.BudgetChecks;
+  if (Options.CancelFlag &&
+      Options.CancelFlag->load(std::memory_order_relaxed))
+    return Status::Cancelled;
+  if (Options.DeadlineSeconds > 0 &&
+      secondsSince(Start) >= Options.DeadlineSeconds)
+    return Status::Deadline;
+  if (Options.MaxMemoryBytes && memoryBytes() > Options.MaxMemoryBytes)
+    return Status::MemoryLimit;
+  if (failpoints::armedAny()) {
+    if (failpoints::hit(failpoints::Point::SolverCancel))
+      return Status::Cancelled;
+    if (failpoints::hit(failpoints::Point::SolverDeadline))
+      return Status::Deadline;
+  }
+  return Status::Solved;
+}
 
+BidirectionalSolver::Status
+BidirectionalSolver::runClosure(std::chrono::steady_clock::time_point Start) {
+  // The arena is the worklist: edges enter once at insertion, the
+  // head cursor drains in FIFO order. On any interrupt the tail stays
+  // queued and the processed-prefix counters are exact, so a later
+  // call continues from precisely this point.
+  //
+  // Every budget is enforced here, between pops — never inside
+  // process() — so an interrupted closure is always at an edge
+  // boundary (see addEdge in Solver.h). The edge and step budgets are
+  // two integer compares per pop; the expensive checks (clock read,
+  // atomic load, memory walk, failpoints) run every
+  // GovernanceCheckInterval pops via governanceCheck().
+  const uint32_t Interval =
+      Options.GovernanceCheckInterval ? Options.GovernanceCheckInterval : 1;
+  uint32_t UntilSlow = Interval;
+
+  while (PendingHead != EdgeArena.size()) {
+    if (Options.MaxEdges != 0 && Stats.EdgesInserted > Options.MaxEdges)
+      return Status::EdgeLimit;
+    if (Options.MaxComposeSteps != 0 &&
+        Stats.ComposeCalls >= Options.MaxComposeSteps)
+      return Status::StepLimit;
+    if (ForcedInterrupt) {
+      Status S = *ForcedInterrupt;
+      ForcedInterrupt.reset();
+      return S;
+    }
+    if (--UntilSlow == 0) {
+      UntilSlow = Interval;
+      Status S = governanceCheck(Start);
+      if (S != Status::Solved)
+        return S;
+    }
+    Edge E = EdgeArena[PendingHead++]; // by value: process() appends
+    process(E);
+  }
+  // A failpoint that fired during the worklist's final fan-out has
+  // nothing left to interrupt; don't leak it into the next solve().
+  ForcedInterrupt.reset();
+  return Status::Solved;
+}
+
+BidirectionalSolver::Status BidirectionalSolver::solve() {
   auto Start = std::chrono::steady_clock::now();
+
+  if (isInterrupted(Stat))
+    ++Stats.Resumes;
 
   // Cycle elimination only considers the first batch: merging
   // variables after edges exist would orphan bounds recorded on the
@@ -386,34 +484,144 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
     collapseCycles(0);
 
   const std::vector<Constraint> &Cons = CS.constraints();
-  while (NumIngested < Cons.size())
-    ingest(Cons[NumIngested++]);
-
-  Stats.IngestSeconds += secondsSince(Start);
-  Start = std::chrono::steady_clock::now();
-
-  // The arena is the worklist: edges enter once at insertion, the
-  // head cursor drains in FIFO order (on EdgeLimit the tail stays
-  // queued, like the old deque).
-  while (PendingHead != EdgeArena.size()) {
-    if (Stat == Status::EdgeLimit)
-      break;
-    Edge E = EdgeArena[PendingHead++]; // by value: process() appends
-    process(E);
+  while (NumIngested < Cons.size()) {
+    uint32_t Idx = static_cast<uint32_t>(NumIngested);
+    ingest(Cons[NumIngested++], Idx);
   }
 
-  Stats.ClosureSeconds += secondsSince(Start);
-  Start = std::chrono::steady_clock::now();
+  Stats.IngestSeconds += secondsSince(Start);
+  auto ClosureStart = std::chrono::steady_clock::now();
+
+  Status S = runClosure(Start);
+
+  Stats.ClosureSeconds += secondsSince(ClosureStart);
+  auto FnVarStart = std::chrono::steady_clock::now();
 
   FnVarSolFresh = false;
-  if (Options.EagerFunctionVars)
+  if (Options.EagerFunctionVars && S == Status::Solved)
     runEagerFnVars();
 
-  Stats.FnVarSeconds += secondsSince(Start);
+  Stats.FnVarSeconds += secondsSince(FnVarStart);
 
-  if (Stat != Status::EdgeLimit)
+  if (S == Status::Solved) {
     Stat = Conflicts.empty() ? Status::Solved : Status::Inconsistent;
+  } else {
+    ++Stats.Interrupts;
+    Stat = S;
+  }
   return Stat;
+}
+
+size_t BidirectionalSolver::memoryBytes() const {
+  size_t N = EdgeArena.capacity() * sizeof(Edge) + Succs.memoryBytes() +
+             Preds.memoryBytes() + EdgeSeen.memoryBytes() +
+             FnVarSeen.memoryBytes() +
+             Conflicts.capacity() * sizeof(SolvedEdge) +
+             FnVarCons.capacity() * sizeof(FnVarConstraint) +
+             NodeKind.capacity() +
+             (SuccDone.capacity() + PredDone.capacity()) * sizeof(uint32_t) +
+             VarNode.capacity() * sizeof(ExprId) +
+             (EdgeProvs.capacity() + ConflictProvs.capacity()) *
+                 sizeof(EdgeProv) +
+             Watchers.capacity() * sizeof(std::vector<Watcher>);
+  for (const std::vector<Watcher> &W : Watchers)
+    N += W.capacity() * sizeof(Watcher);
+  return N;
+}
+
+std::vector<std::string>
+BidirectionalSolver::conflictWitness(size_t I) const {
+  std::vector<std::string> Out;
+  // Provenance must have been tracked from the first solve(): the
+  // records are parallel to the arena and the conflict list.
+  if (I >= Conflicts.size() || ConflictProvs.size() != Conflicts.size() ||
+      EdgeProvs.size() != EdgeArena.size())
+    return Out;
+
+  const AnnotationDomain &D = CS.domain();
+  auto renderEdge = [&](const Edge &E) {
+    return CS.exprToString(E.Src) + " <=[" + D.toString(E.Ann) + "] " +
+           CS.exprToString(E.Dst);
+  };
+  auto renderCons = [&](uint32_t Idx) {
+    const Constraint &C = CS.constraints()[Idx];
+    return CS.exprToString(C.Lhs) + " <=[" + D.toString(C.Ann) + "] " +
+           CS.exprToString(C.Rhs);
+  };
+
+  // Resolve premise triples against the arena (cold path; built per
+  // query rather than carried on the hot insert path).
+  using Triple = std::array<uint32_t, 3>;
+  std::map<Triple, uint32_t> ByTriple;
+  for (uint32_t J = 0, E = static_cast<uint32_t>(EdgeArena.size()); J != E;
+       ++J) {
+    const Edge &Ed = EdgeArena[J];
+    ByTriple.emplace(Triple{Ed.Src, Ed.Dst, Ed.Ann}, J);
+  }
+
+  // Post-order walk of the derivation DAG: premises render before the
+  // steps that use them, so the chain reads top-down from surface
+  // constraints to the mismatch. Iterative — derivations can be as
+  // deep as the arena.
+  struct Frame {
+    Edge E;
+    const EdgeProv *P;
+    bool Expanded;
+  };
+  std::set<Triple> Emitted;
+  std::vector<Frame> Stack;
+  const SolvedEdge &CE = Conflicts[I];
+  Stack.push_back({Edge{CE.Src, CE.Dst, CE.Ann}, &ConflictProvs[I], false});
+
+  while (!Stack.empty()) {
+    if (!Stack.back().Expanded) {
+      Stack.back().Expanded = true;
+      const EdgeProv *P = Stack.back().P;
+      // Push P2 first so P1's subtree renders first.
+      for (const Edge *Prem : {&P->P2, &P->P1}) {
+        if (Prem->Src == InvalidExpr)
+          continue;
+        Triple K{Prem->Src, Prem->Dst, Prem->Ann};
+        if (Emitted.count(K))
+          continue;
+        auto It = ByTriple.find(K);
+        if (It != ByTriple.end())
+          Stack.push_back({*Prem, &EdgeProvs[It->second], false});
+      }
+      continue;
+    }
+    Frame Cur = Stack.back();
+    Stack.pop_back();
+    bool IsConflict = Stack.empty();
+    if (!IsConflict &&
+        !Emitted.insert(Triple{Cur.E.Src, Cur.E.Dst, Cur.E.Ann}).second)
+      continue; // shared premise already rendered
+    std::string Line;
+    switch (Cur.P->Kind) {
+    case EdgeProv::Rule::Surface:
+      Line = "[surface #" + std::to_string(Cur.P->CIdx) + "] " +
+             renderEdge(Cur.E);
+      break;
+    case EdgeProv::Rule::Transitive:
+      Line = "[trans] " + renderEdge(Cur.E) + "  from  " +
+             renderEdge(Cur.P->P1) + "  and  " + renderEdge(Cur.P->P2);
+      break;
+    case EdgeProv::Rule::Decompose:
+      Line = "[decomp] " + renderEdge(Cur.E) + "  from  " +
+             renderEdge(Cur.P->P1);
+      break;
+    case EdgeProv::Rule::Projection:
+      Line = "[proj #" + std::to_string(Cur.P->CIdx) + " (" +
+             renderCons(Cur.P->CIdx) + ")] " + renderEdge(Cur.E) +
+             "  from  " + renderEdge(Cur.P->P1);
+      break;
+    }
+    Out.push_back(std::move(Line));
+    if (IsConflict)
+      Out.push_back("[inconsistent] constructor mismatch: " +
+                    renderEdge(Cur.E));
+  }
+  return Out;
 }
 
 std::vector<std::pair<ExprId, AnnId>>

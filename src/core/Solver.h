@@ -37,6 +37,8 @@
 #include "support/AnnSet.h"
 #include "support/UnionFind.h"
 
+#include <atomic>
+#include <chrono>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +46,11 @@
 namespace rasc {
 
 /// Tuning knobs; the defaults match the paper's implementation notes.
+/// The resource-governance fields (MaxEdges, MaxComposeSteps,
+/// DeadlineSeconds, MaxMemoryBytes, CancelFlag) bound a solve against
+/// the superexponential bidirectional worst case (Section 4); all of
+/// them interrupt the closure in a *resumable* state — see the Status
+/// contract on BidirectionalSolver.
 struct SolverOptions {
   /// Drop edges whose annotation can never extend to an accepting
   /// word (Section 3.1). Ablation: Figure 2-style machines explode
@@ -62,10 +69,53 @@ struct SolverOptions {
   /// (Section 8); both modes answer queries identically.
   bool EagerFunctionVars = false;
 
-  /// Hard cap on inserted edges; exceeding it aborts with
-  /// Status::EdgeLimit (protects the superexponential bidirectional
-  /// worst case, Section 4).
+  /// Cap on inserted edges; 0 = unlimited. Reaching it interrupts the
+  /// closure with Status::EdgeLimit (protects the superexponential
+  /// bidirectional worst case, Section 4). The interrupt is
+  /// *resumable*: raise the cap via options() and call solve() again
+  /// to continue from where the closure stopped. The cap is checked
+  /// between worklist pops, so the count may overshoot by the fan-out
+  /// of the edge being processed when it trips.
   uint64_t MaxEdges = uint64_t(1) << 24;
+
+  /// Budget on logical compositions (SolverStats::ComposeCalls);
+  /// 0 = unlimited. Reaching it interrupts with Status::StepLimit
+  /// (resumable). Compose steps are a machine-independent measure of
+  /// closure work, useful for fair per-request budgets.
+  uint64_t MaxComposeSteps = 0;
+
+  /// Wall-clock budget for one solve() call, measured from its entry;
+  /// 0 = none. Expiring interrupts with Status::Deadline (resumable).
+  /// Checked every GovernanceCheckInterval worklist pops, so the
+  /// precision is one check interval's worth of closure work.
+  double DeadlineSeconds = 0;
+
+  /// Approximate budget on solver-owned heap memory (edge arena,
+  /// adjacency chunks, dedup tables, fn-var store — see
+  /// memoryBytes()); 0 = unlimited. Exceeding it interrupts with
+  /// Status::MemoryLimit (resumable). Approximate: container
+  /// capacities, sampled at the governance cadence.
+  uint64_t MaxMemoryBytes = 0;
+
+  /// Cooperative cancellation token: when non-null and set, the
+  /// closure interrupts with Status::Cancelled (resumable after the
+  /// flag is cleared). The flag is read with relaxed ordering at the
+  /// governance cadence; the pointee must outlive every solve() call.
+  const std::atomic<bool> *CancelFlag = nullptr;
+
+  /// Worklist pops between the "slow" governance checks (deadline,
+  /// cancellation, memory, failpoints). Edge and compose budgets are
+  /// cheap integer compares and are checked every pop. The default
+  /// keeps governance overhead under 2% of closure time (see
+  /// EXPERIMENTS.md) while bounding interrupt latency.
+  uint32_t GovernanceCheckInterval = 256;
+
+  /// Record the provenance of every derived edge (which rule, from
+  /// which premises) so that conflictWitness() can explain a
+  /// Status::Inconsistent result as a chain of surface constraints
+  /// and resolution steps. Costs memory per edge and time per fresh
+  /// insert; off by default.
+  bool TrackProvenance = false;
 
   /// Edge-dedup data layout (DESIGN.md "Solver data layout"). Bitset
   /// keeps one annotation bitset per (src, dst) node pair — dedup is
@@ -95,6 +145,11 @@ struct SolverStats {
   uint64_t ProjectionSteps = 0;
   uint64_t FnVarConstraints = 0;
   uint64_t CollapsedVars = 0;
+
+  // Resource-governance counters.
+  uint64_t BudgetChecks = 0; ///< slow governance checks performed
+  uint64_t Interrupts = 0;   ///< solves ended by a budget/cancel/failpoint
+  uint64_t Resumes = 0;      ///< solves that continued an interrupted closure
 
   // Wall-clock phase timings, accumulated across solve() calls.
   double IngestSeconds = 0;  ///< canonicalization + surface ingest
@@ -151,25 +206,68 @@ private:
 /// Online bidirectional solver over one constraint system.
 class BidirectionalSolver {
 public:
+  /// The solve() status lattice. Solved and Inconsistent describe a
+  /// *complete* closure; the remaining values are interrupts: the
+  /// closure stopped early with its worklist tail preserved, and a
+  /// later solve() — typically after raising the corresponding budget
+  /// via options(), clearing the cancel flag, or just retrying —
+  /// continues from exactly where it stopped and reaches the same
+  /// fixpoint as an uninterrupted run. Queries on an interrupted
+  /// solver see the (sound but incomplete) bounds derived so far.
   enum class Status {
     Solved,       ///< closure complete, no inconsistency found
     Inconsistent, ///< a constructor-mismatch constraint was derived
-    EdgeLimit,    ///< MaxEdges exceeded; closure incomplete
+    EdgeLimit,    ///< Options.MaxEdges reached; resumable
+    StepLimit,    ///< Options.MaxComposeSteps reached; resumable
+    Deadline,     ///< Options.DeadlineSeconds expired; resumable
+    MemoryLimit,  ///< Options.MaxMemoryBytes exceeded; resumable
+    Cancelled,    ///< Options.CancelFlag observed set; resumable
   };
+
+  /// True for the interrupted (budget/cancel) statuses — every status
+  /// except Solved and Inconsistent. An interrupted solver resumes on
+  /// the next solve() call.
+  static bool isInterrupted(Status S) {
+    return S != Status::Solved && S != Status::Inconsistent;
+  }
 
   explicit BidirectionalSolver(const ConstraintSystem &CS)
       : BidirectionalSolver(CS, SolverOptions{}) {}
   BidirectionalSolver(const ConstraintSystem &CS, SolverOptions Opts);
 
   /// Ingests constraints added to the system since the last call and
-  /// runs the closure to quiescence.
+  /// runs the closure to quiescence — or to the first exhausted budget
+  /// (see Status). Calling solve() on an interrupted solver resumes
+  /// the closure; the interrupted-then-resumed fixpoint is identical
+  /// to an uninterrupted one (differentially tested).
   Status solve();
 
   Status status() const { return Stat; }
   const SolverStats &stats() const { return Stats; }
 
+  /// The solver's options. The mutable overload lets a caller raise
+  /// budgets between solve() calls to resume an interrupted closure.
+  /// The dedup backend choice (Dedup, AnnBitsetThreshold) is resolved
+  /// at construction; changing it afterwards has no effect.
+  SolverOptions &options() { return Options; }
+  const SolverOptions &options() const { return Options; }
+
+  /// Approximate solver-owned heap memory: the edge arena, both
+  /// adjacency stores, both dedup tables, watchers, and the fn-var
+  /// store, by container capacity. This is what MaxMemoryBytes is
+  /// checked against.
+  size_t memoryBytes() const;
+
   /// Constructor-mismatch edges discovered (manifest inconsistencies).
   const std::vector<SolvedEdge> &conflicts() const { return Conflicts; }
+
+  /// Explains conflicts()[I] as an ordered derivation chain: surface
+  /// constraints first, then the resolution steps (transitive,
+  /// decomposition, projection) that derived the constructor
+  /// mismatch, one rendered line per step. Requires
+  /// Options.TrackProvenance from the first solve(); returns an empty
+  /// vector otherwise or when I is out of range.
+  std::vector<std::string> conflictWitness(size_t I) const;
 
   /// The representative of \p V after cycle elimination (vars merged
   /// into a cycle share all bounds).
@@ -262,21 +360,37 @@ private:
     uint32_t Index;
     VarId Target;
     AnnId Ann;
+    uint32_t ConsIdx; ///< originating constraint (for witnesses)
+  };
+
+  /// Provenance of one derived edge (Options.TrackProvenance): the
+  /// rule that first derived it and its premises. Premise edges are
+  /// stored as (src, dst, ann) triples; conflictWitness() resolves
+  /// them against the arena when rendering.
+  struct EdgeProv {
+    enum class Rule : uint8_t { Surface, Transitive, Decompose, Projection };
+    Rule Kind = Rule::Surface;
+    uint32_t CIdx = ~0u; ///< Surface/Projection: constraint index
+    Edge P1{InvalidExpr, InvalidExpr, 0}; ///< premise (all but Surface)
+    Edge P2{InvalidExpr, InvalidExpr, 0}; ///< second premise (Transitive)
   };
 
   /// Maps an expression to its node id after variable representative
   /// substitution (cycle elimination), interning rewritten exprs.
   ExprId canonicalize(ExprId E);
 
-  void ingest(const Constraint &C);
+  void ingest(const Constraint &C, uint32_t Idx);
 
-  /// Hot shell: limit check + dedup probe (the overwhelmingly common
-  /// duplicate exit), defined inline so the closure's scan loops pay
-  /// no call overhead for a duplicate; fresh edges fall through to
-  /// the out-of-line cold path below.
+  /// Hot shell: dedup probe (the overwhelmingly common duplicate
+  /// exit), defined inline so the closure's scan loops pay no call
+  /// overhead for a duplicate; fresh edges fall through to the
+  /// out-of-line cold path below. Budgets are deliberately *not*
+  /// checked here: an interrupt mid-process() would lose derivations
+  /// (the dedup bit is claimed before the arena push, and the
+  /// processed-prefix counters advance per edge, not per join), so
+  /// the closure loop enforces every budget between worklist pops —
+  /// process() always runs to completion once started.
   void addEdge(ExprId Src, ExprId Dst, AnnId Ann) {
-    if (Stat == Status::EdgeLimit)
-      return;
     // Dedup before the useless filter: duplicates are the
     // overwhelming majority of attempts on dense workloads, and the
     // probe is one cache line while isUseless() is a virtual call. A
@@ -316,12 +430,36 @@ private:
                       std::vector<VarId> &Visiting,
                       std::vector<GroundTerm> &Out) const;
 
+  /// Runs the worklist closure until quiescence or the first
+  /// exhausted budget; returns the interrupt status, or Solved when
+  /// the worklist drained (the caller folds in Inconsistent).
+  /// \p Start is the solve() entry time (the deadline's epoch).
+  Status runClosure(std::chrono::steady_clock::time_point Start);
+
+  /// The slow governance checks (cancellation, deadline, memory,
+  /// failpoints), run every Options.GovernanceCheckInterval pops.
+  /// \returns Solved when nothing tripped.
+  Status governanceCheck(std::chrono::steady_clock::time_point Start);
+
   const ConstraintSystem &CS;
   SolverOptions Options;
   SolverStats Stats;
   Status Stat = Status::Solved;
 
   size_t NumIngested = 0;
+
+  /// Interrupt requested by a failpoint during edge insertion (test
+  /// harness only); honored at the next governance check so the
+  /// in-flight process() still completes.
+  std::optional<Status> ForcedInterrupt;
+
+  // Provenance (Options.TrackProvenance). EdgeProvs is parallel to
+  // EdgeArena; ConflictProvs to Conflicts. CurProv is set by each
+  // derivation site just before its addEdge call and consumed by
+  // insertFreshEdge.
+  std::vector<EdgeProv> EdgeProvs;
+  std::vector<EdgeProv> ConflictProvs;
+  EdgeProv CurProv;
 
   // Cycle elimination: variable representatives.
   mutable UnionFind VarReps;

@@ -89,6 +89,10 @@ public:
 
   const SolverStats &solverStats() const { return Solver->stats(); }
 
+  /// The generated constraint system (populated by solve()); exposed
+  /// so tests can re-solve the same system under different budgets.
+  const ConstraintSystem &system() const { return *CS; }
+
 private:
   const BitVectorProblem &Problem;
   std::unique_ptr<GenKillDomain> Dom;

@@ -18,29 +18,41 @@ namespace rasc {
 /// Line-oriented recursive-descent parser for constraint files.
 class ConstraintFileParser {
 public:
-  ConstraintFileParser(std::string_view In, std::string *Error)
-      : In(In), Error(Error) {}
+  explicit ConstraintFileParser(std::string_view In) : In(In) {}
 
-  std::optional<ConstraintProgram> parse() {
+  Expected<ConstraintProgram> parse() {
     ConstraintProgram P;
     if (!parseLanguage(P))
-      return std::nullopt;
+      return takeErr();
     while (true) {
       skipTrivia();
       if (Pos >= In.size())
         break;
       if (!parseStatement(P))
-        return std::nullopt;
+        return takeErr();
     }
     return P;
   }
 
 private:
+  /// 1-based column of the cursor on the current line.
+  uint32_t col() const { return static_cast<uint32_t>(Pos - LineStart + 1); }
+
   bool fail(const std::string &Msg) {
-    if (Error && Error->empty())
-      *Error = Msg + " on line " + std::to_string(Line);
+    if (!Err)
+      Err = Diag(Msg, SourceLoc{Line, col()});
     return false;
   }
+
+  /// Records a failure at an explicit location (for errors reported
+  /// by the nested spec/regex parsers).
+  bool failAt(const std::string &Msg, SourceLoc Loc) {
+    if (!Err)
+      Err = Diag(Msg, Loc);
+    return false;
+  }
+
+  Diag takeErr() const { return Err ? *Err : Diag("parse error"); }
 
   void skipTrivia() {
     while (Pos < In.size()) {
@@ -48,6 +60,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
       } else if (C == '#') {
@@ -96,10 +109,24 @@ private:
       fail("expected number");
       return std::nullopt;
     }
+    // Cap far below the overflow point: every number in this grammar
+    // is an arity or a projection index, and an overlong literal must
+    // be a clean error, not a silent wrap.
+    constexpr unsigned Max = 1u << 20;
     unsigned N = 0;
+    bool Over = false;
     while (Pos < In.size() &&
-           std::isdigit(static_cast<unsigned char>(In[Pos])))
+           std::isdigit(static_cast<unsigned char>(In[Pos]))) {
       N = N * 10 + static_cast<unsigned>(In[Pos++] - '0');
+      if (N > Max) {
+        Over = true;
+        N = Max;
+      }
+    }
+    if (Over) {
+      fail("number too large (max " + std::to_string(Max) + ")");
+      return std::nullopt;
+    }
     return N;
   }
 
@@ -119,18 +146,22 @@ private:
           ++Depth;
         else if (In[Pos] == '}')
           --Depth;
-        else if (In[Pos] == '\n')
+        else if (In[Pos] == '\n') {
           ++Line;
+          LineStart = Pos + 1;
+        }
         ++Pos;
       }
       if (Depth != 0)
         return fail("unterminated language block");
       std::string SpecText(In.substr(Start, Pos - 1 - Start));
-      std::string SpecErr;
-      std::optional<SpecAutomaton> Spec = parseSpec(SpecText, &SpecErr);
+      Expected<SpecAutomaton> Spec = parseSpecEx(SpecText);
       if (!Spec) {
-        Line = StartLine;
-        return fail("language block: " + SpecErr);
+        // Map the spec's position into this file: spec line 1 is the
+        // text right after '{' on line StartLine.
+        SourceLoc L = Spec.error().loc();
+        L.Line = L.valid() ? StartLine + L.Line - 1 : StartLine;
+        return failAt("language block: " + Spec.error().message(), L);
       }
       P.Dom = std::make_unique<MonoidDomain>(Spec->machine());
     } else {
@@ -148,10 +179,16 @@ private:
         return fail("unterminated regex string");
       std::string Pattern(In.substr(Start, Pos - Start));
       ++Pos;
-      std::string RegexErr;
-      std::optional<Dfa> M = compileRegex(Pattern, {}, &RegexErr);
-      if (!M)
-        return fail("regex: " + RegexErr);
+      Expected<Dfa> M = compileRegexEx(Pattern);
+      if (!M) {
+        // The regex diagnostic's column is an offset into the quoted
+        // pattern; shift it to this file's coordinates.
+        SourceLoc L = M.error().loc();
+        uint32_t PatCol = L.Col ? L.Col : 1;
+        return failAt("regex: " + M.error().message(),
+                      SourceLoc{Line, static_cast<uint32_t>(
+                                          Start - LineStart + PatCol)});
+      }
       P.Dom = std::make_unique<MonoidDomain>(std::move(*M));
       if (!eat(';'))
         return false;
@@ -259,6 +296,7 @@ private:
   bool parseStatement(ConstraintProgram &P) {
     size_t Save = Pos;
     unsigned SaveLine = Line;
+    size_t SaveLineStart = LineStart;
     auto Kw = ident();
     if (!Kw)
       return false;
@@ -288,6 +326,12 @@ private:
         auto N = number();
         if (!N)
           return false;
+        // Arities beyond any real analysis are rejected up front so a
+        // hostile file cannot make downstream passes allocate
+        // per-argument state for millions of components.
+        if (*N > 1024)
+          return fail("constructor arity " + std::to_string(*N) +
+                      " too large (max 1024)");
         Arity = *N;
       }
       P.Constructors.emplace_back(
@@ -366,6 +410,7 @@ private:
     // Otherwise: a constraint "side <= [ann] side;".
     Pos = Save;
     Line = SaveLine;
+    LineStart = SaveLineStart;
     auto Lhs = parseSide(P);
     if (!Lhs)
       return false;
@@ -386,18 +431,27 @@ private:
   }
 
   std::string_view In;
-  std::string *Error;
   size_t Pos = 0;
-  unsigned Line = 1;
+  size_t LineStart = 0;
+  uint32_t Line = 1;
+  std::optional<Diag> Err;
 };
 
 } // namespace rasc
 
+Expected<ConstraintProgram> ConstraintProgram::parseEx(std::string_view Source) {
+  ConstraintFileParser P(Source);
+  return P.parse();
+}
+
 std::optional<ConstraintProgram>
 ConstraintProgram::parse(std::string_view Source, std::string *Error) {
-  std::string Local;
-  ConstraintFileParser P(Source, Error ? Error : &Local);
-  return P.parse();
+  Expected<ConstraintProgram> P = parseEx(Source);
+  if (P)
+    return std::move(*P);
+  if (Error && Error->empty())
+    *Error = P.error().render();
+  return std::nullopt;
 }
 
 std::optional<VarId>
@@ -423,7 +477,11 @@ ConstraintProgram::solveAndAnswer(SolverOptions Options,
   Solver.solve();
   if (StatsOut)
     *StatsOut = Solver.stats();
+  return answer(Solver);
+}
 
+std::vector<ConstraintProgram::Answer>
+ConstraintProgram::answer(BidirectionalSolver &Solver) const {
   std::vector<Answer> Out;
   for (const Query &Q : Queries) {
     Answer A{&Q, false};

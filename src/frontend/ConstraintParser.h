@@ -40,6 +40,7 @@
 
 #include "core/Domains.h"
 #include "core/Solver.h"
+#include "support/Diag.h"
 
 #include <memory>
 #include <optional>
@@ -65,8 +66,12 @@ public:
     bool Holds;
   };
 
-  /// Parses \p Source; returns std::nullopt and sets \p Error (with a
-  /// line number) on failure.
+  /// Parses \p Source; on failure the Diag carries the message and
+  /// the 1-based line/column of the offending token.
+  static Expected<ConstraintProgram> parseEx(std::string_view Source);
+
+  /// Convenience wrapper over parseEx(): returns std::nullopt and
+  /// sets \p Error to the rendered diagnostic on failure.
   static std::optional<ConstraintProgram>
   parse(std::string_view Source, std::string *Error = nullptr);
 
@@ -82,6 +87,11 @@ public:
   /// out-parameter for callers that want more (may be null).
   std::vector<Answer> solveAndAnswer(SolverOptions Options = {},
                                      SolverStats *StatsOut = nullptr);
+
+  /// Evaluates every query against \p Solver, which must have been
+  /// constructed over system() and solved to completion. Lets callers
+  /// drive budgeted / resumable solves themselves (see README).
+  std::vector<Answer> answer(BidirectionalSolver &Solver) const;
 
 private:
   ConstraintProgram() = default;

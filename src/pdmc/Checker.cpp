@@ -112,8 +112,7 @@ std::vector<Violation> RascChecker::check() {
   }
 
   BidirectionalSolver Solver(*CS, SolverOpts);
-  EdgeLimit =
-      Solver.solve() == BidirectionalSolver::Status::EdgeLimit;
+  EdgeLimit = BidirectionalSolver::isInterrupted(Solver.solve());
   Stats.Derived = Solver.stats().EdgesInserted;
 
   AtomReachability AR = Solver.atomReachability(Pc);

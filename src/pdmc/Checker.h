@@ -103,8 +103,10 @@ public:
   /// benchmarks that want blow-ups reported instead of endured).
   void setSolverOptions(SolverOptions O) { SolverOpts = O; }
 
-  /// Reports whether the last check() aborted on the edge cap; the
-  /// reported violations are then incomplete.
+  /// Reports whether the last check()'s solve was interrupted by any
+  /// resource budget (edge cap, step budget, deadline, memory,
+  /// cancellation); the reported violations are then incomplete
+  /// (sound so far, but more may exist).
   bool hitEdgeLimit() const { return EdgeLimit; }
 
   const CheckStats &stats() const { return Stats; }

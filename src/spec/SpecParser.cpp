@@ -28,7 +28,8 @@ enum class TokKind {
 struct Token {
   TokKind Kind;
   std::string Text;
-  unsigned Line;
+  uint32_t Line;
+  uint32_t Col;
 };
 
 class Lexer {
@@ -37,8 +38,9 @@ public:
 
   Token next() {
     skipTrivia();
+    uint32_t Col = static_cast<uint32_t>(Pos - LineStart + 1);
     if (Pos >= Input.size())
-      return {TokKind::End, "", Line};
+      return {TokKind::End, "", Line, Col};
     char C = Input[Pos];
     if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
       size_t Start = Pos;
@@ -47,37 +49,37 @@ public:
               Input[Pos] == '_'))
         ++Pos;
       return {TokKind::Ident,
-              std::string(Input.substr(Start, Pos - Start)), Line};
+              std::string(Input.substr(Start, Pos - Start)), Line, Col};
     }
     switch (C) {
     case ':':
       ++Pos;
-      return {TokKind::Colon, ":", Line};
+      return {TokKind::Colon, ":", Line, Col};
     case ';':
       ++Pos;
-      return {TokKind::Semi, ";", Line};
+      return {TokKind::Semi, ";", Line, Col};
     case '|':
       ++Pos;
-      return {TokKind::Pipe, "|", Line};
+      return {TokKind::Pipe, "|", Line, Col};
     case '(':
       ++Pos;
-      return {TokKind::LParen, "(", Line};
+      return {TokKind::LParen, "(", Line, Col};
     case ')':
       ++Pos;
-      return {TokKind::RParen, ")", Line};
+      return {TokKind::RParen, ")", Line, Col};
     case ',':
       ++Pos;
-      return {TokKind::Comma, ",", Line};
+      return {TokKind::Comma, ",", Line, Col};
     case '-':
       if (Pos + 1 < Input.size() && Input[Pos + 1] == '>') {
         Pos += 2;
-        return {TokKind::Arrow, "->", Line};
+        return {TokKind::Arrow, "->", Line, Col};
       }
       break;
     default:
       break;
     }
-    return {TokKind::End, std::string(1, C), Line}; // reported as error
+    return {TokKind::End, std::string(1, C), Line, Col}; // reported as error
   }
 
 private:
@@ -87,6 +89,7 @@ private:
       if (C == '\n') {
         ++Line;
         ++Pos;
+        LineStart = Pos;
       } else if (std::isspace(static_cast<unsigned char>(C))) {
         ++Pos;
       } else if (C == '#') {
@@ -100,7 +103,8 @@ private:
 
   std::string_view Input;
   size_t Pos = 0;
-  unsigned Line = 1;
+  size_t LineStart = 0;
+  uint32_t Line = 1;
 };
 
 struct Arm {
@@ -120,10 +124,11 @@ struct StateDecl {
 
 class Parser {
 public:
-  Parser(std::string_view Input, std::string *Error)
-      : Lex(Input), Error(Error) {
+  explicit Parser(std::string_view Input) : Lex(Input) {
     Tok = Lex.next();
   }
+
+  Diag err() const { return Err ? *Err : Diag("parse error"); }
 
   bool parse(std::vector<StateDecl> &States,
              std::vector<std::string> &ExtraSymbols) {
@@ -147,8 +152,8 @@ public:
 
 private:
   bool fail(std::string_view Msg) {
-    if (Error && Error->empty())
-      *Error = std::string(Msg) + " on line " + std::to_string(Tok.Line);
+    if (!Err)
+      Err = Diag(std::string(Msg), SourceLoc{Tok.Line, Tok.Col});
     return false;
   }
 
@@ -233,42 +238,35 @@ private:
 
   Lexer Lex;
   Token Tok;
-  std::string *Error;
+  std::optional<Diag> Err;
 };
 
 } // namespace
 
-std::optional<SpecAutomaton> rasc::parseSpec(std::string_view Text,
-                                             std::string *Error) {
-  std::string LocalError;
-  if (!Error)
-    Error = &LocalError;
-
+Expected<SpecAutomaton> rasc::parseSpecEx(std::string_view Text) {
   std::vector<StateDecl> States;
   std::vector<std::string> ExtraSymbols;
-  Parser P(Text, Error);
+  Parser P(Text);
   if (!P.parse(States, ExtraSymbols))
-    return std::nullopt;
+    return P.err();
 
-  if (States.empty()) {
-    *Error = "specification declares no states";
-    return std::nullopt;
-  }
+  auto at = [](unsigned Line) { return SourceLoc{Line, 0}; };
+
+  if (States.empty())
+    return Diag("specification declares no states");
 
   DfaBuilder B;
   std::map<std::string, StateId> StateIds;
   std::vector<std::string> StateNames;
   for (const StateDecl &D : States) {
-    if (StateIds.count(D.Name)) {
-      *Error = "duplicate state '" + D.Name + "' on line " +
-               std::to_string(D.Line);
-      return std::nullopt;
-    }
+    if (StateIds.count(D.Name))
+      return Diag("duplicate state '" + D.Name + "'", at(D.Line));
     StateIds[D.Name] = B.addState(D.Name);
     StateNames.push_back(D.Name);
   }
 
   std::vector<SpecSymbol> Symbols;
+  std::optional<Diag> SymErr;
   auto addSymbol = [&](const std::string &Name,
                        const std::vector<std::string> &Params,
                        unsigned Line) -> std::optional<SymbolId> {
@@ -278,9 +276,9 @@ std::optional<SpecAutomaton> rasc::parseSpec(std::string_view Text,
       return Id;
     }
     if (Symbols[Id].Params != Params) {
-      *Error = "symbol '" + Name +
-               "' used with inconsistent parameters on line " +
-               std::to_string(Line);
+      SymErr = Diag("symbol '" + Name +
+                        "' used with inconsistent parameters",
+                    at(Line));
       return std::nullopt;
     }
     return Id;
@@ -288,18 +286,15 @@ std::optional<SpecAutomaton> rasc::parseSpec(std::string_view Text,
 
   for (const std::string &S : ExtraSymbols)
     if (!addSymbol(S, {}, 0))
-      return std::nullopt;
+      return *SymErr;
 
   std::map<uint64_t, int> SeenTransitions;
   bool HaveStart = false, HaveAccept = false;
   for (const StateDecl &D : States) {
     StateId S = StateIds[D.Name];
     if (D.IsStart) {
-      if (HaveStart) {
-        *Error = "multiple start states ('" + D.Name + "' on line " +
-                 std::to_string(D.Line) + ")";
-        return std::nullopt;
-      }
+      if (HaveStart)
+        return Diag("multiple start states ('" + D.Name + "')", at(D.Line));
       B.setStart(S);
       HaveStart = true;
     }
@@ -309,33 +304,25 @@ std::optional<SpecAutomaton> rasc::parseSpec(std::string_view Text,
     }
     for (const Arm &A : D.Arms) {
       auto TargetIt = StateIds.find(A.Target);
-      if (TargetIt == StateIds.end()) {
-        *Error = "unknown target state '" + A.Target + "' on line " +
-                 std::to_string(A.Line);
-        return std::nullopt;
-      }
+      if (TargetIt == StateIds.end())
+        return Diag("unknown target state '" + A.Target + "'", at(A.Line));
       std::optional<SymbolId> Sym = addSymbol(A.Symbol, A.Params, A.Line);
       if (!Sym)
-        return std::nullopt;
+        return *SymErr;
       if (!SeenTransitions
                .emplace((static_cast<uint64_t>(S) << 32) | *Sym, 0)
-               .second) {
-        *Error = "duplicate transition on '" + A.Symbol + "' from state '" +
-                 D.Name + "' on line " + std::to_string(A.Line);
-        return std::nullopt;
-      }
+               .second)
+        return Diag("duplicate transition on '" + A.Symbol +
+                        "' from state '" + D.Name + "'",
+                    at(A.Line));
       B.addTransition(S, *Sym, TargetIt->second);
     }
   }
 
-  if (!HaveStart) {
-    *Error = "no start state declared";
-    return std::nullopt;
-  }
-  if (!HaveAccept) {
-    *Error = "no accept state declared";
-    return std::nullopt;
-  }
+  if (!HaveStart)
+    return Diag("no start state declared");
+  if (!HaveAccept)
+    return Diag("no accept state declared");
 
   Dfa M = B.build();
   // Name the implicit dead state, if build() created one.
@@ -343,4 +330,14 @@ std::optional<SpecAutomaton> rasc::parseSpec(std::string_view Text,
     StateNames.push_back("<dead>");
   return SpecAutomaton(std::move(M), std::move(StateNames),
                        std::move(Symbols));
+}
+
+std::optional<SpecAutomaton> rasc::parseSpec(std::string_view Text,
+                                             std::string *Error) {
+  Expected<SpecAutomaton> A = parseSpecEx(Text);
+  if (A)
+    return std::move(*A);
+  if (Error && Error->empty())
+    *Error = A.error().render();
+  return std::nullopt;
 }

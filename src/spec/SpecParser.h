@@ -39,6 +39,7 @@
 #define RASC_SPEC_SPECPARSER_H
 
 #include "automata/Dfa.h"
+#include "support/Diag.h"
 
 #include <optional>
 #include <string>
@@ -94,8 +95,13 @@ private:
   std::vector<SpecSymbol> Symbols;
 };
 
-/// Parses and compiles \p Text. On error returns std::nullopt and sets
-/// \p Error to a message with a line number.
+/// Parses and compiles \p Text. On failure the Diag carries the
+/// message and the 1-based line (and, for syntax errors, column) of
+/// the offending token.
+Expected<SpecAutomaton> parseSpecEx(std::string_view Text);
+
+/// Convenience wrapper over parseSpecEx(): returns std::nullopt and
+/// sets \p Error to the rendered diagnostic on failure.
 std::optional<SpecAutomaton> parseSpec(std::string_view Text,
                                        std::string *Error = nullptr);
 

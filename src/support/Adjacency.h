@@ -118,6 +118,13 @@ public:
     forEach(Node, degree(Node), static_cast<Fn &&>(F));
   }
 
+  /// Heap bytes held (for the solver's approximate memory budget).
+  size_t memoryBytes() const {
+    return Nodes.capacity() * sizeof(NodeRef) +
+           Chunks.capacity() * sizeof(Chunk) +
+           NextChunk.capacity() * sizeof(uint32_t);
+  }
+
 private:
   struct NodeRef {
     uint32_t Head = InvalidChunk;

@@ -143,6 +143,12 @@ public:
     return InlineMode && Slots.size() >= (1u << 15);
   }
 
+  /// Heap bytes held (for the solver's approximate memory budget).
+  size_t memoryBytes() const {
+    return Slots.capacity() * sizeof(Slot) + Rows.memoryBytes() +
+           Bits.capacity() * sizeof(uint64_t);
+  }
+
 private:
   bool testAndSetInline(uint64_t Key, uint32_t Ann) {
     if (Slots.empty())
@@ -286,6 +292,18 @@ public:
   bool prefetchWorthwhile() const {
     return Which == Backend::Bitset ? Bitsets.prefetchWorthwhile()
                                     : PerDst.size() >= 4096;
+  }
+
+  /// Heap bytes held. O(1) for the bitset backend; O(#destinations)
+  /// for the flat backend, so callers amortize (the solver checks its
+  /// memory budget every GovernanceCheckInterval worklist pops).
+  size_t memoryBytes() const {
+    if (Which == Backend::Bitset)
+      return Bitsets.memoryBytes();
+    size_t N = PerDst.capacity() * sizeof(FlatSet64);
+    for (const FlatSet64 &S : PerDst)
+      N += S.memoryBytes();
+    return N;
   }
 
 private:

@@ -1,0 +1,93 @@
+//===- support/Diag.h - Structured diagnostics ------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The error type used on untrusted input paths (the constraint, spec,
+/// and regex parsers, and the checked ConstraintSystem builders): a
+/// message plus an optional source location, and an Expected<T> carrier
+/// so frontends report malformed input as a value instead of an assert
+/// (release-mode-disabled) or UB. The string-out-parameter parser APIs
+/// remain as thin wrappers that render() the diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SUPPORT_DIAG_H
+#define RASC_SUPPORT_DIAG_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace rasc {
+
+/// A 1-based position in a source text; 0 means "unknown".
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool valid() const { return Line != 0; }
+};
+
+/// One diagnostic: what went wrong and where.
+class Diag {
+public:
+  Diag() = default;
+  explicit Diag(std::string Message, SourceLoc Loc = {})
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  const std::string &message() const { return Message; }
+  SourceLoc loc() const { return Loc; }
+
+  /// "line L, col C: message" (or just the message without a location).
+  std::string render() const {
+    if (!Loc.valid())
+      return Message;
+    std::string Out = "line " + std::to_string(Loc.Line);
+    if (Loc.Col != 0)
+      Out += ", col " + std::to_string(Loc.Col);
+    return Out + ": " + Message;
+  }
+
+private:
+  std::string Message;
+  SourceLoc Loc;
+};
+
+/// A value or a diagnostic. Deliberately minimal: test with operator
+/// bool, read the value with * / ->, read the failure with error().
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Storage(std::move(Value)) {}
+  Expected(Diag D) : Storage(std::move(D)) {}
+
+  explicit operator bool() const {
+    return std::holds_alternative<T>(Storage);
+  }
+
+  T &operator*() {
+    assert(*this && "accessing the value of a failed Expected");
+    return std::get<T>(Storage);
+  }
+  const T &operator*() const {
+    assert(*this && "accessing the value of a failed Expected");
+    return std::get<T>(Storage);
+  }
+  T *operator->() { return &**this; }
+  const T *operator->() const { return &**this; }
+
+  const Diag &error() const {
+    assert(!*this && "accessing the error of a successful Expected");
+    return std::get<Diag>(Storage);
+  }
+
+private:
+  std::variant<T, Diag> Storage;
+};
+
+} // namespace rasc
+
+#endif // RASC_SUPPORT_DIAG_H

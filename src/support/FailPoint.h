@@ -1,0 +1,74 @@
+//===- support/FailPoint.h - Fault-injection points -------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small failpoint facility for fault-injection tests: code under
+/// test consults named points, and a test arms a point to trip after a
+/// chosen number of hits — forcing budget exhaustion, cancellation, or
+/// allocation failure at a deterministic step (e.g. the Nth fresh edge
+/// insert of a solve). The facility is always compiled in; when no
+/// point is armed the only cost at a consult site is one relaxed
+/// atomic load and a predictable branch, which is why call sites must
+/// guard with armedAny() before calling hit().
+///
+/// Counters are global (per process). Tests that arm points should
+/// disarmAll() when done; gtest fixtures in this repo do so in
+/// SetUp/TearDown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SUPPORT_FAILPOINT_H
+#define RASC_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace rasc {
+namespace failpoints {
+
+enum class Point : unsigned {
+  /// Trips in the solver's fresh-edge insert; the solver reports it as
+  /// Status::MemoryLimit (a simulated allocation failure).
+  SolverEdgeInsert,
+  /// Trips in the solver's amortized governance check; reported as
+  /// Status::Deadline (a simulated expired wall clock, deterministic
+  /// where a real clock is not).
+  SolverDeadline,
+  /// Trips in the solver's amortized governance check; reported as
+  /// Status::Cancelled.
+  SolverCancel,
+  NumPoints,
+};
+
+namespace detail {
+extern std::atomic<unsigned> ArmedCount;
+extern std::atomic<int64_t> Remaining[static_cast<unsigned>(Point::NumPoints)];
+} // namespace detail
+
+/// True if any point is armed. Call sites use this as the cheap guard
+/// so disarmed builds pay one relaxed load.
+inline bool armedAny() {
+  return detail::ArmedCount.load(std::memory_order_relaxed) != 0;
+}
+
+/// Arms \p P to trip on the (\p AfterHits + 1)-th hit() from now (0
+/// trips the very next hit). Re-arming resets the countdown.
+void arm(Point P, uint64_t AfterHits);
+
+/// Disarms \p P; pending countdown is discarded.
+void disarm(Point P);
+
+/// Disarms every point.
+void disarmAll();
+
+/// Counts one hit of \p P. \returns true exactly once per arming: on
+/// the hit that exhausts the countdown. Unarmed points never trip.
+bool hit(Point P);
+
+} // namespace failpoints
+} // namespace rasc
+
+#endif // RASC_SUPPORT_FAILPOINT_H

@@ -95,6 +95,9 @@ public:
           &Slots[static_cast<size_t>(mix64(Key)) & (Slots.size() - 1)]);
   }
 
+  /// Heap bytes held (for the solver's approximate memory budget).
+  size_t memoryBytes() const { return Slots.capacity() * sizeof(uint64_t); }
+
 private:
   void rehash(size_t NewCap) {
     std::vector<uint64_t> Old = std::move(Slots);
@@ -154,6 +157,12 @@ public:
       Cap *= 2;
     if (Cap > Keys.size())
       rehash(Cap);
+  }
+
+  /// Heap bytes held (for the solver's approximate memory budget).
+  size_t memoryBytes() const {
+    return Keys.capacity() * sizeof(uint64_t) +
+           Values.capacity() * sizeof(uint32_t);
   }
 
 private:
