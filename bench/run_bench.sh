@@ -87,3 +87,70 @@ for size, rec in sorted(per_size.items()):
           f"median {statistics.median(rec['ms']):.2f} ms, "
           f"{rec['edges']} edges")
 EOF
+
+# --- Thread-scaling sweep (DESIGN.md §8) -------------------------------
+# Runs bench_parallel_batch (frontier-parallel BM_SolveDagParallel at
+# Threads 1/2/4/8 and the BM_BatchSolve pool sweep) and appends a
+# "parallel" entry. Every round is one process invocation covering all
+# thread counts, so the configurations are interleaved A/B across
+# rounds; per configuration we keep min and median (min-of-9 by
+# default — the robust statistic on shared machines). Skipped when the
+# parallel bench binary is not built.
+
+PAR_BIN="${BENCH_PARALLEL_BIN:-$REPO_ROOT/build/bench/bench_parallel_batch}"
+PAR_ROUNDS="${BENCH_PARALLEL_ROUNDS:-9}"
+
+if [ -x "$PAR_BIN" ]; then
+  for R in $(seq 1 "$PAR_ROUNDS"); do
+    "$PAR_BIN" --benchmark_min_time="$MIN_TIME" \
+               --benchmark_format=json >"$TMPDIR_BENCH/par_$R.json"
+    echo "parallel round $R/$PAR_ROUNDS done" >&2
+  done
+
+  python3 - "$OUT" "$LABEL" "$TMPDIR_BENCH" "$PAR_ROUNDS" <<'EOF'
+import json, os, statistics, sys
+
+out_path, label, tmpdir, rounds = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+
+per_cfg = {}  # benchmark name -> {"ms": [...], "counters": {...}}
+for r in range(1, rounds + 1):
+    with open(os.path.join(tmpdir, f"par_{r}.json")) as f:
+        doc = json.load(f)
+    for b in doc["benchmarks"]:
+        rec = per_cfg.setdefault(b["name"], {"ms": [], "counters": {}})
+        rec["ms"].append(b["real_time"] / 1e6)  # ns -> ms
+        for k in ("edges", "rounds", "edges_per_s", "systems_per_s"):
+            if k in b:
+                rec["counters"][k] = round(float(b[k]), 3)
+
+entry = {
+    "label": label,
+    "benchmark": "parallel",
+    "rounds": rounds,
+    "hardware_threads": os.cpu_count(),
+    "configs": {
+        name: {
+            "min_ms": round(min(rec["ms"]), 3),
+            "median_ms": round(statistics.median(rec["ms"]), 3),
+            **rec["counters"],
+        }
+        for name, rec in sorted(per_cfg.items())
+    },
+}
+
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+doc.setdefault("runs", []).append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"appended 'parallel' entry for '{label}' to {out_path}")
+for name, rec in sorted(per_cfg.items()):
+    print(f"  {name}: min {min(rec['ms']):.2f} ms, "
+          f"median {statistics.median(rec['ms']):.2f} ms")
+EOF
+else
+  echo "note: $PAR_BIN not built; skipping thread-scaling sweep" >&2
+fi

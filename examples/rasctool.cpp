@@ -8,13 +8,20 @@
 /// A small command-line driver for textual constraint problems:
 ///
 ///   rasctool [options] file.rasc   solve the file and answer its queries
+///   rasctool [options] --batch dir solve every .rasc file in dir
 ///   rasctool [options]             run the embedded demo (Example 2.4)
 ///
-/// Options (resource governance; see DESIGN.md section 7):
+/// Options (resource governance; see DESIGN.md sections 7 and 8):
 ///
 ///   --max-edges N    stop after N inserted edges (0 = unlimited)
 ///   --step-budget N  stop after N compose steps (0 = unlimited)
-///   --deadline S     wall-clock budget in seconds (0 = none)
+///   --deadline S     wall-clock budget in seconds (0 = none);
+///                    in batch mode this is shared by the whole batch
+///   --threads N      single file: frontier-parallel closure workers;
+///                    batch: solve pool width (0 = hardware threads)
+///   --batch DIR      solve every .rasc file under DIR concurrently on
+///                    one SolvePool, then print per-system status and
+///                    the aggregate solver statistics
 ///   --no-resume      report an interrupted solve instead of resuming
 ///   --explain        on inconsistency, print a derivation witness
 ///
@@ -27,10 +34,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/BatchSolver.h"
 #include "frontend/ConstraintParser.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -80,6 +90,7 @@ const char *statusName(Status S) {
 
 struct CliOptions {
   SolverOptions Solver;
+  unsigned Threads = 1;
   bool Resume = true;
   bool Explain = false;
 };
@@ -98,6 +109,7 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
               Dom.machine().numStates(), Dom.size());
 
   Cli.Solver.TrackProvenance |= Cli.Explain;
+  Cli.Solver.Threads = Cli.Threads;
   BidirectionalSolver Solver(P->system(), Cli.Solver);
   Status S = Solver.solve();
   while (BidirectionalSolver::isInterrupted(S)) {
@@ -140,11 +152,111 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
   return 0;
 }
 
+/// Batch mode: every .rasc file under \p Dir becomes one solver task
+/// on one pool; the --deadline budget is shared by the whole batch.
+int runBatch(const std::string &Dir, CliOptions Cli) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Paths;
+  std::error_code EC;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC))
+    if (E.is_regular_file() && E.path().extension() == ".rasc")
+      Paths.push_back(E.path().string());
+  if (EC) {
+    std::fprintf(stderr, "cannot read %s: %s\n", Dir.c_str(),
+                 EC.message().c_str());
+    return 1;
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr, "no .rasc files under %s\n", Dir.c_str());
+    return 1;
+  }
+  std::sort(Paths.begin(), Paths.end());
+
+  std::vector<ConstraintProgram> Programs;
+  for (const std::string &Path : Paths) {
+    std::ifstream File(Path);
+    if (!File) {
+      std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << File.rdbuf();
+    Expected<ConstraintProgram> P = ConstraintProgram::parseEx(SS.str());
+    if (!P) {
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                   P.error().render().c_str());
+      return 1;
+    }
+    Programs.push_back(std::move(*P));
+  }
+
+  // One solver per system; within the batch each task solves
+  // sequentially (the pool supplies the parallelism).
+  std::vector<std::unique_ptr<BidirectionalSolver>> Solvers;
+  std::vector<BidirectionalSolver *> Ptrs;
+  for (ConstraintProgram &P : Programs) {
+    Solvers.push_back(
+        std::make_unique<BidirectionalSolver>(P.system(), Cli.Solver));
+    Ptrs.push_back(Solvers.back().get());
+  }
+
+  BatchSolver::Options BO;
+  BO.Threads = Cli.Threads;
+  BO.DeadlineSeconds = Cli.Solver.DeadlineSeconds;
+  BatchSolver Batch(BO);
+  std::printf("batch: %zu systems on %u threads\n\n", Programs.size(),
+              Batch.numThreads());
+  std::vector<BatchSolver::Result> Results = Batch.solveAll(Ptrs);
+
+  bool Interrupted = false;
+  for (const BatchSolver::Result &R : Results)
+    Interrupted |= BidirectionalSolver::isInterrupted(R.St);
+  if (Interrupted && Cli.Resume) {
+    std::printf("interrupted tasks; resuming with budgets lifted...\n");
+    for (std::unique_ptr<BidirectionalSolver> &S : Solvers) {
+      S->options().MaxEdges = 0;
+      S->options().MaxComposeSteps = 0;
+      S->options().DeadlineSeconds = 0;
+      S->options().MaxMemoryBytes = 0;
+    }
+    BO.DeadlineSeconds = 0;
+    BatchSolver Resume(BO);
+    Results = Resume.solveAll(Ptrs);
+  }
+
+  int Exit = 0;
+  SolverStats Total;
+  for (size_t I = 0; I != Programs.size(); ++I) {
+    const SolverStats &St = Solvers[I]->stats();
+    Total += St;
+    std::printf("%s: %s, %llu edges, %llu compositions (%.3fs)\n",
+                Paths[I].c_str(), statusName(Results[I].St),
+                static_cast<unsigned long long>(St.EdgesInserted),
+                static_cast<unsigned long long>(St.ComposeCalls),
+                Results[I].Seconds);
+    if (BidirectionalSolver::isInterrupted(Results[I].St)) {
+      Exit = 2;
+      continue;
+    }
+    for (const ConstraintProgram::Answer &A :
+         Programs[I].answer(*Solvers[I]))
+      std::printf("  %-40s %s\n", A.Q->Text.c_str(),
+                  A.Holds ? "holds" : "does not hold");
+  }
+  std::printf("\nbatch total: %llu edges, %llu compositions, "
+              "%llu parallel rounds\n",
+              static_cast<unsigned long long>(Total.EdgesInserted),
+              static_cast<unsigned long long>(Total.ComposeCalls),
+              static_cast<unsigned long long>(Total.ParallelRounds));
+  return Exit;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions Cli;
   const char *Path = nullptr;
+  const char *BatchDir = nullptr;
   for (int I = 1; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
     auto numArg = [&](uint64_t &Out) {
@@ -167,6 +279,17 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       Cli.Solver.DeadlineSeconds = std::strtod(Argv[++I], nullptr);
+    } else if (Arg == "--threads") {
+      uint64_t N = 0;
+      if (!numArg(N))
+        return 1;
+      Cli.Threads = static_cast<unsigned>(N);
+    } else if (Arg == "--batch") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--batch needs a directory\n");
+        return 1;
+      }
+      BatchDir = Argv[++I];
     } else if (Arg == "--no-resume") {
       Cli.Resume = false;
     } else if (Arg == "--explain") {
@@ -179,6 +302,8 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (BatchDir)
+    return runBatch(BatchDir, Cli);
   if (!Path) {
     std::printf("(no input file; running the embedded Example 2.4 "
                 "demo)\n\n");

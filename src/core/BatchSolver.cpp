@@ -1,0 +1,112 @@
+//===- core/BatchSolver.cpp - Pooled solving of independent systems -------===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BatchSolver.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+
+using namespace rasc;
+
+BatchSolver::BatchSolver(Options Opts) : Opts(Opts) {}
+
+BatchSolver::~BatchSolver() = default;
+
+unsigned BatchSolver::numThreads() const {
+  return Opts.Threads ? Opts.Threads : ThreadPool::hardwareThreads();
+}
+
+std::vector<BatchSolver::Result>
+BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
+  using Clock = std::chrono::steady_clock;
+  const auto Start = Clock::now();
+  const size_t N = Solvers.size();
+
+  InternalCancel.store(false, std::memory_order_relaxed);
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(numThreads());
+
+  std::vector<Result> Results(N);
+  if (N == 0) {
+    Merged = SolverStats{};
+    return Results;
+  }
+
+  // Per-task cancel flags at stable addresses: the supervisor below
+  // fans the external flag (and cancelAll) out to these, and each
+  // solver polls its own at the governance cadence.
+  std::vector<std::unique_ptr<std::atomic<bool>>> TaskCancel(N);
+  for (auto &F : TaskCancel)
+    F = std::make_unique<std::atomic<bool>>(false);
+
+  // Save every task's options; the batch governance is an overlay for
+  // this call only. Restoring afterwards keeps pointers into this
+  // BatchSolver (the group-memory cell, the task flags) out of any
+  // solver that outlives it.
+  std::vector<SolverOptions> Saved(N);
+  for (size_t I = 0; I != N; ++I)
+    Saved[I] = Solvers[I]->options();
+
+  auto remaining = [&]() -> double {
+    return Opts.DeadlineSeconds -
+           std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+
+  for (size_t I = 0; I != N; ++I) {
+    BidirectionalSolver *S = Solvers[I];
+    std::atomic<bool> *Flag = TaskCancel[I].get();
+    Result *R = &Results[I];
+    Pool->run([this, S, Flag, R, &remaining] {
+      SolverOptions &O = S->options();
+      O.CancelFlag = Flag;
+      if (Opts.MaxTotalMemoryBytes) {
+        O.GroupMemory = &GroupMemory;
+        O.MaxGroupMemoryBytes = Opts.MaxTotalMemoryBytes;
+      }
+      if (Opts.DeadlineSeconds > 0) {
+        // The batch deadline is shared: a task starting late gets
+        // only the time left; one already past it is returned
+        // unsolved (still resumable by a later solveAll).
+        double Left = remaining();
+        if (Left <= 0) {
+          R->St = BidirectionalSolver::Status::Deadline;
+          return;
+        }
+        O.DeadlineSeconds = O.DeadlineSeconds > 0
+                                ? std::min(O.DeadlineSeconds, Left)
+                                : Left;
+      }
+      auto T0 = Clock::now();
+      R->St = S->solve();
+      R->Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+    });
+  }
+
+  // Supervise: poll the external cancel flag while the pool drains,
+  // fanning it out to every task flag once observed.
+  bool FannedOut = false;
+  while (!Pool->waitIdleFor(std::chrono::milliseconds(10))) {
+    if (FannedOut)
+      continue;
+    bool Cancel = InternalCancel.load(std::memory_order_relaxed) ||
+                  (Opts.CancelFlag &&
+                   Opts.CancelFlag->load(std::memory_order_relaxed));
+    if (Cancel) {
+      for (auto &F : TaskCancel)
+        F->store(true, std::memory_order_relaxed);
+      FannedOut = true;
+    }
+  }
+
+  Merged = SolverStats{};
+  for (size_t I = 0; I != N; ++I) {
+    Solvers[I]->options() = Saved[I];
+    Merged += Solvers[I]->stats();
+  }
+  return Results;
+}

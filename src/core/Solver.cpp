@@ -8,6 +8,7 @@
 
 #include "support/FailPoint.h"
 #include "support/FlatSet.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <array>
@@ -73,6 +74,8 @@ BidirectionalSolver::BidirectionalSolver(const ConstraintSystem &CS,
     : CS(CS), Options(Opts),
       EdgeSeen(pickDedupBackend(Opts, CS.domain()), CS.domain().size()),
       FnVarSeen(pickDedupBackend(Opts, CS.domain()), CS.domain().size()) {}
+
+BidirectionalSolver::~BidirectionalSolver() = default;
 
 VarId BidirectionalSolver::rep(VarId V) const {
   VarReps.grow(V + 1);
@@ -419,6 +422,26 @@ BidirectionalSolver::governanceCheck(std::chrono::steady_clock::time_point Start
     return Status::Deadline;
   if (Options.MaxMemoryBytes && memoryBytes() > Options.MaxMemoryBytes)
     return Status::MemoryLimit;
+  if (Options.GroupMemory) {
+    // Publish this solver's delta into the batch's shared cell.
+    // Deltas can be negative (capacity rarely shrinks, but can);
+    // unsigned wrap-around makes fetch_add(cur - last) correct either
+    // way. Relaxed suffices: the total is an approximate budget, not
+    // a synchronization point. A new cell restarts the chain: the
+    // first publish contributes this solver's full footprint.
+    if (Options.GroupMemory != LastGroupCell) {
+      LastGroupCell = Options.GroupMemory;
+      LastPublishedMemory = 0;
+    }
+    uint64_t Cur = memoryBytes();
+    uint64_t Total = Options.GroupMemory->fetch_add(
+                         Cur - LastPublishedMemory,
+                         std::memory_order_relaxed) +
+                     (Cur - LastPublishedMemory);
+    LastPublishedMemory = Cur;
+    if (Options.MaxGroupMemoryBytes && Total > Options.MaxGroupMemoryBytes)
+      return Status::MemoryLimit;
+  }
   if (failpoints::armedAny()) {
     if (failpoints::hit(failpoints::Point::SolverCancel))
       return Status::Cancelled;
@@ -471,6 +494,218 @@ BidirectionalSolver::runClosure(std::chrono::steady_clock::time_point Start) {
   return Status::Solved;
 }
 
+BidirectionalSolver::Status BidirectionalSolver::runClosureParallel(
+    std::chrono::steady_clock::time_point Start, unsigned Threads) {
+  const uint32_t Interval =
+      Options.GovernanceCheckInterval ? Options.GovernanceCheckInterval : 1;
+  uint32_t UntilSlow = Interval;
+  // Cap on edges per round: bounds the interrupt latency (budgets are
+  // only enforced between rounds) and the round scratch.
+  constexpr size_t MaxRoundEdges = size_t(1) << 16;
+
+  if (!Pool || Pool->numThreads() != Threads - 1)
+    Pool = std::make_unique<ThreadPool>(Threads - 1);
+
+  while (PendingHead != EdgeArena.size()) {
+    if (Options.MaxEdges != 0 && Stats.EdgesInserted > Options.MaxEdges)
+      return Status::EdgeLimit;
+    if (Options.MaxComposeSteps != 0 &&
+        Stats.ComposeCalls >= Options.MaxComposeSteps)
+      return Status::StepLimit;
+    if (ForcedInterrupt) {
+      Status S = *ForcedInterrupt;
+      ForcedInterrupt.reset();
+      return S;
+    }
+    if (--UntilSlow == 0) {
+      UntilSlow = Interval;
+      Status S = governanceCheck(Start);
+      if (S != Status::Solved)
+        return S;
+    }
+    size_t Frontier = EdgeArena.size() - PendingHead;
+    if (Frontier < Options.ParallelFrontierThreshold) {
+      Edge E = EdgeArena[PendingHead++]; // by value: process() appends
+      process(E);
+      continue;
+    }
+    parallelRound(std::min(Frontier, MaxRoundEdges), Threads);
+  }
+  ForcedInterrupt.reset();
+  return Status::Solved;
+}
+
+/// One bulk-synchronous round over the frontier, in three phases.
+///
+/// Phase 1 (sequential limits sweep) replays exactly the counter
+/// evolution the sequential loop would produce: frontier edge j
+/// snapshots the processed prefixes its scans may read — SuccDone of
+/// its destination, PredDone of its source — and then advances its
+/// own nodes' counters, so edge j's snapshot covers every earlier
+/// edge (pre-round and frontier positions < j) and nothing later.
+/// Each 2-path is therefore joined by exactly the later of its two
+/// edges, once, just as in process(); the join *sets* of the two
+/// modes coincide, so by confluence so do the fixpoints.
+///
+/// Phase 2 (parallel compute) partitions the frontier across workers.
+/// Workers are strictly read-only — frontier slice of the arena,
+/// NodeKind, adjacency prefixes within the snapshotted limits (all
+/// appended before the round), dense composition rows, and read-only
+/// dedup probes — and write only their partition's RoundBuf, so the
+/// phase is race-free without any locking. Work that must mutate
+/// shared state is left for phase 3: constructor decompositions and
+/// watcher projections intern var nodes, and a scan whose annotation
+/// has no dense row would go through the domain's mutating compose().
+/// Row availability is a pure function of the domain (fixed at monoid
+/// construction), so the merge re-detects those edges with the same
+/// null-row test instead of any cross-thread handoff.
+///
+/// Phase 3 (sequential merge) performs the deferred decompositions,
+/// projections, and row-less scans, then drains the worker buffers
+/// through addEdge — the single writer of the dedup tables, arena,
+/// and adjacency — and folds the workers' private counters into
+/// Stats. Stats totals match the sequential run at any fixpoint:
+/// joins are in bijection, and a duplicate attempt counts once
+/// whether a worker pre-filtered it or the merge's probe caught it.
+void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
+  ++Stats.ParallelRounds;
+  const AnnotationDomain &D = CS.domain();
+  constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
+  constexpr uint8_t KVar = static_cast<uint8_t>(ExprKind::Var);
+  const size_t Base = PendingHead;
+
+  // Phase 1: limits sweep.
+  RoundSuccLimit.resize(Frontier);
+  RoundPredLimit.resize(Frontier);
+  for (size_t J = 0; J != Frontier; ++J) {
+    const Edge &E = EdgeArena[Base + J];
+    RoundSuccLimit[J] = SuccDone[E.Dst];
+    RoundPredLimit[J] = PredDone[E.Src];
+    ++SuccDone[E.Src];
+    ++PredDone[E.Dst];
+  }
+
+  // Phase 2: compute.
+  const size_t NumParts = std::min<size_t>(Threads, Frontier);
+  if (RoundBufs.size() < NumParts)
+    RoundBufs.resize(NumParts);
+  auto computePart = [&](size_t P) {
+    RoundBuf &B = RoundBufs[P];
+    B.NewEdges.clear();
+    B.ComposeCalls = 0;
+    B.EdgesDropped = 0;
+    auto emit = [&](ExprId S, ExprId T, AnnId A) {
+      if (EdgeSeen.contains(S, T, A))
+        ++B.EdgesDropped;
+      else
+        B.NewEdges.push_back({S, T, A});
+    };
+    const size_t Lo = Frontier * P / NumParts;
+    const size_t Hi = Frontier * (P + 1) / NumParts;
+    for (size_t J = Lo; J != Hi; ++J) {
+      const Edge E = EdgeArena[Base + J];
+      uint8_t SrcKind = NodeKind[E.Src];
+      uint8_t DstKind = NodeKind[E.Dst];
+      if (SrcKind == KCons && DstKind == KCons)
+        continue; // decompose interns var nodes: merge phase
+      if (DstKind == KVar) {
+        if (const AnnId *Row = D.composeRowRhs(E.Ann)) {
+          B.ComposeCalls += RoundSuccLimit[J];
+          Succs.forEachChunks(
+              E.Dst, RoundSuccLimit[J],
+              [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+                for (uint32_t I = 0; I != N; ++I)
+                  emit(E.Src, Ch.Peers[I], Row[Ch.Anns[I]]);
+              });
+          if (E.Src == E.Dst) {
+            ++B.ComposeCalls;
+            emit(E.Src, E.Dst, Row[E.Ann]);
+          }
+        }
+        // Null row or watcher projections: merge phase.
+      }
+      if (SrcKind == KVar) {
+        if (const AnnId *Row = D.composeRowLhs(E.Ann)) {
+          B.ComposeCalls += RoundPredLimit[J];
+          Preds.forEachChunks(
+              E.Src, RoundPredLimit[J],
+              [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+                for (uint32_t I = 0; I != N; ++I)
+                  emit(Ch.Peers[I], E.Dst, Row[Ch.Anns[I]]);
+              });
+        }
+      }
+    }
+  };
+  if (NumParts == 1) {
+    computePart(0);
+  } else {
+    for (size_t P = 1; P != NumParts; ++P)
+      Pool->run([&computePart, P] { computePart(P); });
+    computePart(0);
+    Pool->waitIdle();
+  }
+
+  // Phase 3: merge.
+  PendingHead = Base + Frontier;
+  for (size_t J = 0; J != Frontier; ++J) {
+    const Edge E = EdgeArena[Base + J]; // by value: addEdge appends
+    uint8_t SrcKind = NodeKind[E.Src];
+    uint8_t DstKind = NodeKind[E.Dst];
+    if (SrcKind == KCons && DstKind == KCons) {
+      decompose(E);
+      continue;
+    }
+    if (DstKind == KVar) {
+      const AnnId *Row = D.composeRowRhs(E.Ann);
+      if (!Row) {
+        Stats.ComposeCalls += RoundSuccLimit[J];
+        Succs.forEachChunks(
+            E.Dst, RoundSuccLimit[J],
+            [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+              for (uint32_t I = 0; I != N; ++I)
+                addEdge(E.Src, Ch.Peers[I], D.compose(Ch.Anns[I], E.Ann));
+            });
+        if (E.Src == E.Dst) {
+          ++Stats.ComposeCalls;
+          addEdge(E.Src, E.Dst, D.compose(E.Ann, E.Ann));
+        }
+      }
+      if (SrcKind == KCons && !Watchers[E.Dst].empty()) {
+        const Expr SE = CS.expr(E.Src); // by value: varNode may intern
+        for (size_t I = 0, N = Watchers[E.Dst].size(); I != N; ++I) {
+          Watcher W = Watchers[E.Dst][I];
+          if (W.C != SE.C)
+            continue;
+          ++Stats.ProjectionSteps;
+          ++Stats.ComposeCalls;
+          addEdge(varNode(SE.Args[W.Index]), varNode(W.Target),
+                  Row ? Row[W.Ann] : D.compose(W.Ann, E.Ann));
+        }
+      }
+    }
+    if (SrcKind == KVar) {
+      if (!D.composeRowLhs(E.Ann)) {
+        Stats.ComposeCalls += RoundPredLimit[J];
+        Preds.forEachChunks(
+            E.Src, RoundPredLimit[J],
+            [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+              for (uint32_t I = 0; I != N; ++I)
+                addEdge(Ch.Peers[I], E.Dst, D.compose(E.Ann, Ch.Anns[I]));
+            });
+      }
+    }
+  }
+  for (size_t P = 0; P != NumParts; ++P) {
+    RoundBuf &B = RoundBufs[P];
+    Stats.ComposeCalls += B.ComposeCalls;
+    Stats.EdgesDropped += B.EdgesDropped;
+    for (const Edge &NE : B.NewEdges)
+      addEdge(NE.Src, NE.Dst, NE.Ann);
+    B.NewEdges.clear();
+  }
+}
+
 BidirectionalSolver::Status BidirectionalSolver::solve() {
   auto Start = std::chrono::steady_clock::now();
 
@@ -492,7 +727,14 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
   Stats.IngestSeconds += secondsSince(Start);
   auto ClosureStart = std::chrono::steady_clock::now();
 
-  Status S = runClosure(Start);
+  // Threads == 1 is the sequential algorithm, untouched; provenance
+  // tracking records arena order (which rounds permute), so it pins
+  // the sequential path too.
+  unsigned Threads =
+      Options.Threads ? Options.Threads : ThreadPool::hardwareThreads();
+  Status S = (Threads > 1 && !Options.TrackProvenance)
+                 ? runClosureParallel(Start, Threads)
+                 : runClosure(Start);
 
   Stats.ClosureSeconds += secondsSince(ClosureStart);
   auto FnVarStart = std::chrono::steady_clock::now();
@@ -523,9 +765,14 @@ size_t BidirectionalSolver::memoryBytes() const {
              VarNode.capacity() * sizeof(ExprId) +
              (EdgeProvs.capacity() + ConflictProvs.capacity()) *
                  sizeof(EdgeProv) +
-             Watchers.capacity() * sizeof(std::vector<Watcher>);
+             Watchers.capacity() * sizeof(std::vector<Watcher>) +
+             (RoundSuccLimit.capacity() + RoundPredLimit.capacity()) *
+                 sizeof(uint32_t) +
+             RoundBufs.capacity() * sizeof(RoundBuf);
   for (const std::vector<Watcher> &W : Watchers)
     N += W.capacity() * sizeof(Watcher);
+  for (const RoundBuf &B : RoundBufs)
+    N += B.NewEdges.capacity() * sizeof(Edge);
   return N;
 }
 

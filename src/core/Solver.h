@@ -39,11 +39,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 namespace rasc {
+
+class ThreadPool;
 
 /// Tuning knobs; the defaults match the paper's implementation notes.
 /// The resource-governance fields (MaxEdges, MaxComposeSteps,
@@ -103,6 +106,35 @@ struct SolverOptions {
   /// governance cadence; the pointee must outlive every solve() call.
   const std::atomic<bool> *CancelFlag = nullptr;
 
+  /// Worker threads for the frontier-parallel closure (DESIGN.md §8):
+  /// 1 (the default) runs the sequential algorithm, bit-for-bit the
+  /// single-threaded code path; 0 means one thread per hardware
+  /// thread. With more than one thread the closure runs in
+  /// bulk-synchronous rounds — the pending frontier is partitioned
+  /// across workers that compute 2-path joins into thread-local
+  /// buffers, and a sequential barrier merges them through the edge
+  /// dedup — reaching the identical fixpoint (the closure is
+  /// confluent; differentially tested). TrackProvenance records
+  /// arena order, so it forces the sequential path regardless.
+  unsigned Threads = 1;
+
+  /// Minimum frontier size for a parallel round; smaller frontiers
+  /// drain through the sequential per-edge path (partitioning a
+  /// handful of edges costs more than it saves). Tests set 1 to force
+  /// rounds on tiny systems.
+  uint32_t ParallelFrontierThreshold = 128;
+
+  /// Aggregate memory accounting across a batch of solvers (see
+  /// core/BatchSolver.h): when non-null, every governance check
+  /// publishes this solver's memoryBytes() delta into the shared cell
+  /// (relaxed fetch_add; unsigned wrap-around absorbs shrinkage), and
+  /// a non-zero MaxGroupMemoryBytes interrupts with
+  /// Status::MemoryLimit once the cell's total exceeds it. The cell
+  /// must outlive every solve() call. Per-solver MaxMemoryBytes still
+  /// applies independently.
+  std::atomic<uint64_t> *GroupMemory = nullptr;
+  uint64_t MaxGroupMemoryBytes = 0;
+
   /// Worklist pops between the "slow" governance checks (deadline,
   /// cancellation, memory, failpoints). Edge and compose budgets are
   /// cheap integer compares and are checked every pop. The default
@@ -151,10 +183,36 @@ struct SolverStats {
   uint64_t Interrupts = 0;   ///< solves ended by a budget/cancel/failpoint
   uint64_t Resumes = 0;      ///< solves that continued an interrupted closure
 
+  // Parallel-closure counters (zero on the sequential path).
+  uint64_t ParallelRounds = 0; ///< bulk-synchronous frontier rounds run
+
   // Wall-clock phase timings, accumulated across solve() calls.
   double IngestSeconds = 0;  ///< canonicalization + surface ingest
   double ClosureSeconds = 0; ///< worklist transitive/projection closure
   double FnVarSeconds = 0;   ///< eager function-variable propagation
+
+  /// Field-wise merge, for aggregating per-solver stats across a
+  /// batch (core/BatchSolver.h). Every counter and timing is a plain
+  /// sum — each solver owns its stats object, so merging after the
+  /// solves is race-free by construction.
+  SolverStats &operator+=(const SolverStats &O) {
+    EdgesInserted += O.EdgesInserted;
+    EdgesDropped += O.EdgesDropped;
+    UselessFiltered += O.UselessFiltered;
+    ComposeCalls += O.ComposeCalls;
+    DecomposeSteps += O.DecomposeSteps;
+    ProjectionSteps += O.ProjectionSteps;
+    FnVarConstraints += O.FnVarConstraints;
+    CollapsedVars += O.CollapsedVars;
+    BudgetChecks += O.BudgetChecks;
+    Interrupts += O.Interrupts;
+    Resumes += O.Resumes;
+    ParallelRounds += O.ParallelRounds;
+    IngestSeconds += O.IngestSeconds;
+    ClosureSeconds += O.ClosureSeconds;
+    FnVarSeconds += O.FnVarSeconds;
+    return *this;
+  }
 };
 
 /// A derived inclusion edge src ⊆^Ann dst between expression nodes.
@@ -234,6 +292,7 @@ public:
   explicit BidirectionalSolver(const ConstraintSystem &CS)
       : BidirectionalSolver(CS, SolverOptions{}) {}
   BidirectionalSolver(const ConstraintSystem &CS, SolverOptions Opts);
+  ~BidirectionalSolver(); // out-of-line: owns the (fwd-declared) pool
 
   /// Ingests constraints added to the system since the last call and
   /// runs the closure to quiescence — or to the first exhausted budget
@@ -436,6 +495,21 @@ private:
   /// \p Start is the solve() entry time (the deadline's epoch).
   Status runClosure(std::chrono::steady_clock::time_point Start);
 
+  /// The frontier-parallel closure (Options.Threads > 1): drains the
+  /// worklist in bulk-synchronous rounds of up to MaxRoundEdges edges
+  /// each, falling back to per-edge process() for frontiers below
+  /// Options.ParallelFrontierThreshold. Budgets are enforced between
+  /// rounds (and between fallback pops), so interrupts land at the
+  /// same edge-boundary states the sequential path produces — a
+  /// parallel solve can resume sequentially and vice versa.
+  Status runClosureParallel(std::chrono::steady_clock::time_point Start,
+                            unsigned Threads);
+
+  /// One bulk-synchronous round over the next \p Frontier pending
+  /// edges with \p Threads-way compute (see Solver.cpp for the
+  /// three-phase structure and the exactly-once argument).
+  void parallelRound(size_t Frontier, unsigned Threads);
+
   /// The slow governance checks (cancellation, deadline, memory,
   /// failpoints), run every Options.GovernanceCheckInterval pops.
   /// \returns Solved when nothing tripped.
@@ -502,6 +576,29 @@ private:
   // VarId -> ExprId node (or InvalidExpr), for query-side lookups
   // without re-interning through CS.var()'s hash-cons table.
   std::vector<ExprId> VarNode;
+
+  // Frontier-parallel round scratch (Options.Threads > 1), kept
+  // across rounds so allocations amortize. The limit vectors hold the
+  // per-frontier-edge processed-prefix snapshots taken by the
+  // sequential limits sweep; one RoundBuf per compute partition holds
+  // the worker's derived edges and its private counters until the
+  // merge barrier folds them in.
+  std::unique_ptr<ThreadPool> Pool;
+  std::vector<uint32_t> RoundSuccLimit;
+  std::vector<uint32_t> RoundPredLimit;
+  struct RoundBuf {
+    std::vector<Edge> NewEdges;
+    uint64_t ComposeCalls = 0;
+    uint64_t EdgesDropped = 0;
+  };
+  std::vector<RoundBuf> RoundBufs;
+
+  // Last memoryBytes() published into Options.GroupMemory (the shared
+  // cell accumulates deltas, so each solver remembers its own
+  // contribution) and the cell it was published into: pointing the
+  // solver at a different cell restarts the delta chain from zero.
+  uint64_t LastPublishedMemory = 0;
+  const std::atomic<uint64_t> *LastGroupCell = nullptr;
 };
 
 } // namespace rasc

@@ -21,7 +21,13 @@ AnnotatedBitVectorAnalysis::AnnotatedBitVectorAnalysis(
   CS = std::make_unique<ConstraintSystem>(*Dom);
 }
 
-void AnnotatedBitVectorAnalysis::solve() {
+void AnnotatedBitVectorAnalysis::prepare(SolverOptions Opts) {
+  if (Generated) {
+    if (!Solver)
+      Solver = std::make_unique<BidirectionalSolver>(*CS, Opts);
+    return;
+  }
+  Generated = true;
   const Program &Prog = Problem.program();
   StmtVars.assign(Prog.numStatements(), 0);
   for (StmtId S = 0; S != Prog.numStatements(); ++S)
@@ -47,13 +53,40 @@ void AnnotatedBitVectorAnalysis::solve() {
       CS->add(CS->var(StmtVars[S]), CS->var(StmtVars[Succ]), Ann);
   }
 
-  Solver = std::make_unique<BidirectionalSolver>(*CS);
-  Solver->solve();
+  Solver = std::make_unique<BidirectionalSolver>(*CS, Opts);
+}
 
+void AnnotatedBitVectorAnalysis::finalize() {
+  assert(Solver && "finalize() requires prepare()");
+  const Program &Prog = Problem.program();
   AtomReachability AR = Solver->atomReachability(Pc);
   Reaching.assign(Prog.numStatements(), {});
   for (StmtId S = 0; S != Prog.numStatements(); ++S)
     Reaching[S] = AR.annotations(StmtVars[S]);
+}
+
+void AnnotatedBitVectorAnalysis::solve() {
+  prepare();
+  Solver->solve();
+  finalize();
+}
+
+std::vector<BatchSolver::Result> AnnotatedBitVectorAnalysis::solveAll(
+    std::span<AnnotatedBitVectorAnalysis *const> Analyses,
+    const BatchSolver::Options &BatchOpts, SolverStats *MergedStats) {
+  std::vector<BidirectionalSolver *> Solvers;
+  Solvers.reserve(Analyses.size());
+  for (AnnotatedBitVectorAnalysis *A : Analyses) {
+    A->prepare();
+    Solvers.push_back(A->solver());
+  }
+  BatchSolver Batch(BatchOpts);
+  std::vector<BatchSolver::Result> Results = Batch.solveAll(Solvers);
+  for (AnnotatedBitVectorAnalysis *A : Analyses)
+    A->finalize();
+  if (MergedStats)
+    *MergedStats = Batch.mergedStats();
+  return Results;
 }
 
 bool AnnotatedBitVectorAnalysis::mayHold(StmtId S, unsigned Bit) const {

@@ -465,13 +465,39 @@ ConsId FlowAnalysis::sourceConstant(FExprId From) {
   return C;
 }
 
-void FlowAnalysis::ensureSolved() {
+void FlowAnalysis::prepare(SolverOptions Opts) {
   if (!Solver)
-    Solver = std::make_unique<BidirectionalSolver>(*CS);
+    Solver = std::make_unique<BidirectionalSolver>(*CS, Opts);
+}
+
+void FlowAnalysis::ensureSolved() {
+  prepare();
   if (!Solved) {
     Solver->solve();
     Solved = true;
   }
+}
+
+std::vector<BatchSolver::Result>
+FlowAnalysis::solveAll(std::span<FlowAnalysis *const> Analyses,
+                       const BatchSolver::Options &BatchOpts,
+                       SolverStats *MergedStats) {
+  std::vector<BidirectionalSolver *> Solvers;
+  Solvers.reserve(Analyses.size());
+  for (FlowAnalysis *A : Analyses) {
+    A->prepare();
+    Solvers.push_back(A->Solver.get());
+  }
+  BatchSolver Batch(BatchOpts);
+  std::vector<BatchSolver::Result> Results = Batch.solveAll(Solvers);
+  // An interrupted analysis stays "unsolved" so its next query resumes
+  // the solve to completion; a solved one answers queries directly.
+  for (size_t I = 0; I != Analyses.size(); ++I)
+    Analyses[I]->Solved =
+        !BidirectionalSolver::isInterrupted(Analyses[I]->Solver->status());
+  if (MergedStats)
+    *MergedStats = Batch.mergedStats();
+  return Results;
 }
 
 const BidirectionalSolver &FlowAnalysis::solver() {

@@ -33,12 +33,14 @@
 #ifndef RASC_FLOW_ANALYSIS_H
 #define RASC_FLOW_ANALYSIS_H
 
+#include "core/BatchSolver.h"
 #include "core/Domains.h"
 #include "core/Solver.h"
 #include "flow/Lang.h"
 
 #include <map>
 #include <memory>
+#include <span>
 
 namespace rasc {
 
@@ -93,6 +95,21 @@ public:
   const ConstraintSystem &system() const { return *CS; }
   const BidirectionalSolver &solver();
   const MonoidDomain &domain() const { return *Dom; }
+
+  /// Splits the lazy solve for batch use (solveAll): constructs the
+  /// solver with \p Opts without running it. Idempotent; options only
+  /// take effect on the first call (before the solver exists).
+  void prepare(SolverOptions Opts = SolverOptions());
+
+  /// Solves many independent analyses concurrently on one BatchSolver
+  /// pool under shared governance. Queries afterwards behave exactly
+  /// as after an eager solve; analyses whose batch solve was
+  /// interrupted stay unsolved and re-solve (resume) lazily on their
+  /// next query. Returns the per-analysis results in input order.
+  static std::vector<BatchSolver::Result>
+  solveAll(std::span<FlowAnalysis *const> Analyses,
+           const BatchSolver::Options &BatchOpts = {},
+           SolverStats *MergedStats = nullptr);
 
 private:
   /// A labeled type: one fresh set variable per position.

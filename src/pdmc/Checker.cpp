@@ -53,9 +53,28 @@ bool RascChecker::isRelevant(const Stmt &St) const {
          Spec.machine().symbol(St.OpSymbol).has_value();
 }
 
-std::vector<Violation> RascChecker::check() {
-  auto Start = std::chrono::steady_clock::now();
+AnnId RascChecker::opAnn(const Stmt &St) const {
   const Dfa &M = Spec.machine();
+  SymbolId Sym = *M.symbol(St.OpSymbol);
+  AnnId BaseAnn = Base->symbolAnn(Sym);
+  if (!Parametric)
+    return BaseAnn;
+  const SpecSymbol &Decl = Spec.symbols()[Sym];
+  if (Decl.Params.empty())
+    return EnvDom->lift(BaseAnn);
+  assert(Decl.Params.size() == St.OpLabels.size() &&
+         "operation label count must match the symbol declaration");
+  std::vector<ParamBinding> Key;
+  for (size_t I = 0; I != Decl.Params.size(); ++I)
+    Key.push_back(
+        {EnvDom->name(Decl.Params[I]), EnvDom->name(St.OpLabels[I])});
+  return EnvDom->instantiate(std::move(Key), BaseAnn);
+}
+
+void RascChecker::generate() {
+  if (Generated)
+    return;
+  Generated = true;
 
   // Constraint generation (Section 6.1).
   StmtVars.assign(Prog.numStatements(), 0);
@@ -65,25 +84,6 @@ std::vector<Violation> RascChecker::check() {
   Pc = CS->addConstant("pc");
   CS->add(CS->cons(Pc), CS->var(StmtVars[Prog.entry(Prog.mainFunction())]));
 
-  // The edge annotation of an operation statement.
-  auto opAnn = [&](const Stmt &St) -> AnnId {
-    SymbolId Sym = *M.symbol(St.OpSymbol);
-    AnnId BaseAnn = Base->symbolAnn(Sym);
-    if (!Parametric)
-      return BaseAnn;
-    const SpecSymbol &Decl = Spec.symbols()[Sym];
-    if (Decl.Params.empty())
-      return EnvDom->lift(BaseAnn);
-    assert(Decl.Params.size() == St.OpLabels.size() &&
-           "operation label count must match the symbol declaration");
-    std::vector<ParamBinding> Key;
-    for (size_t I = 0; I != Decl.Params.size(); ++I)
-      Key.push_back(
-          {EnvDom->name(Decl.Params[I]), EnvDom->name(St.OpLabels[I])});
-    return EnvDom->instantiate(std::move(Key), BaseAnn);
-  };
-
-  std::map<ConsId, StmtId> ConsToCall;
   for (StmtId S = 0; S != Prog.numStatements(); ++S) {
     const Stmt &St = Prog.stmt(S);
     if (St.Kind == Stmt::Call) {
@@ -104,6 +104,18 @@ std::vector<Violation> RascChecker::check() {
   }
 
   Stats.Constraints = CS->constraints().size();
+}
+
+void RascChecker::prepare() {
+  generate();
+  if (Strategy == SolveStrategy::Bidirectional && !Solver)
+    Solver = std::make_unique<BidirectionalSolver>(*CS, SolverOpts);
+}
+
+std::vector<Violation> RascChecker::check() {
+  auto Start = std::chrono::steady_clock::now();
+
+  prepare();
 
   if (Strategy == SolveStrategy::Forward) {
     std::vector<Violation> Out = checkForward();
@@ -111,11 +123,19 @@ std::vector<Violation> RascChecker::check() {
     return Out;
   }
 
-  BidirectionalSolver Solver(*CS, SolverOpts);
-  EdgeLimit = BidirectionalSolver::isInterrupted(Solver.solve());
-  Stats.Derived = Solver.stats().EdgesInserted;
+  Solver->solve();
+  std::vector<Violation> Out = collectViolations();
+  Stats.Seconds = secondsSince(Start);
+  return Out;
+}
 
-  AtomReachability AR = Solver.atomReachability(Pc);
+std::vector<Violation> RascChecker::collectViolations() {
+  assert(Solver && "collectViolations requires a prepared solver");
+  const Dfa &M = Spec.machine();
+  EdgeLimit = BidirectionalSolver::isInterrupted(Solver->status());
+  Stats.Derived = Solver->stats().EdgesInserted;
+
+  AtomReachability AR = Solver->atomReachability(Pc);
 
   // A violation at an operation statement s: pc reaches s with a word
   // w such that delta(w . op, s0) is accepting.
@@ -183,8 +203,40 @@ std::vector<Violation> RascChecker::check() {
     }
   }
 
-  Stats.Seconds = secondsSince(Start);
   return std::vector<Violation>(Found.begin(), Found.end());
+}
+
+std::vector<std::vector<Violation>>
+rasc::checkAllProperties(const Program &Prog,
+                         std::span<const SpecAutomaton *const> Specs,
+                         const BatchSolver::Options &BatchOpts,
+                         const SolverOptions &SolverOpts,
+                         SolverStats *MergedStats) {
+  // One checker — one constraint system, one solver — per property;
+  // generation is sequential (it is cheap next to solving), the
+  // solves run concurrently on the pool.
+  std::vector<std::unique_ptr<RascChecker>> Checkers;
+  std::vector<BidirectionalSolver *> Solvers;
+  Checkers.reserve(Specs.size());
+  Solvers.reserve(Specs.size());
+  for (const SpecAutomaton *Spec : Specs) {
+    auto C = std::make_unique<RascChecker>(Prog, *Spec);
+    C->setSolverOptions(SolverOpts);
+    C->prepare();
+    Solvers.push_back(C->solver());
+    Checkers.push_back(std::move(C));
+  }
+
+  BatchSolver Batch(BatchOpts);
+  Batch.solveAll(Solvers);
+
+  std::vector<std::vector<Violation>> Out;
+  Out.reserve(Checkers.size());
+  for (auto &C : Checkers)
+    Out.push_back(C->collectViolations());
+  if (MergedStats)
+    *MergedStats = Batch.mergedStats();
+  return Out;
 }
 
 std::vector<Violation> RascChecker::checkForward() {

@@ -31,6 +31,7 @@
 #ifndef RASC_PDMC_CHECKER_H
 #define RASC_PDMC_CHECKER_H
 
+#include "core/BatchSolver.h"
 #include "core/Domains.h"
 #include "core/Solver.h"
 #include "core/SubstEnv.h"
@@ -38,8 +39,10 @@
 #include "pds/Pds.h"
 #include "spec/SpecParser.h"
 
+#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -99,6 +102,22 @@ public:
   /// instantiation).
   std::vector<Violation> check();
 
+  /// Splits check() for batch solving (checkAllProperties): generates
+  /// the constraint system and constructs the bidirectional solver
+  /// without solving. Idempotent. The Forward strategy has no
+  /// separate solver object; prepare() only generates.
+  void prepare();
+
+  /// The prepared solver (null before prepare(), and always for the
+  /// Forward strategy). The batch entry point hands these to a
+  /// BatchSolver; queries then run through collectViolations().
+  BidirectionalSolver *solver() { return Solver.get(); }
+
+  /// The query half of check(): reads violations off the solved (or
+  /// interrupted — then incomplete but sound) solver. Requires
+  /// prepare() and a solve() on the bidirectional strategy.
+  std::vector<Violation> collectViolations();
+
   /// Overrides the bidirectional solver's options (e.g. MaxEdges for
   /// benchmarks that want blow-ups reported instead of endured).
   void setSolverOptions(SolverOptions O) { SolverOpts = O; }
@@ -117,6 +136,8 @@ public:
 
 private:
   bool isRelevant(const Stmt &St) const;
+  AnnId opAnn(const Stmt &St) const;
+  void generate();
   std::vector<Violation> checkForward();
 
   const Program &Prog;
@@ -129,10 +150,27 @@ private:
   std::vector<VarId> StmtVars;
   ConsId Pc = 0;
   std::vector<std::pair<StmtId, ConsId>> CallCons; // call site -> o_i
+  std::map<ConsId, StmtId> ConsToCall;
+  std::unique_ptr<BidirectionalSolver> Solver;
+  bool Generated = false;
   SolverOptions SolverOpts;
   bool EdgeLimit = false;
   CheckStats Stats;
 };
+
+/// Batch checking: one constraint system per property, all solved
+/// concurrently on a BatchSolver pool under the shared governance in
+/// \p BatchOpts; \p SolverOpts applies to every per-property solver.
+/// Returns the violations per spec, in input order — identical to
+/// running RascChecker::check() per spec (each system is independent).
+/// When \p MergedStats is non-null it receives the field-wise sum of
+/// the per-property solver stats.
+std::vector<std::vector<Violation>>
+checkAllProperties(const Program &Prog,
+                   std::span<const SpecAutomaton *const> Specs,
+                   const BatchSolver::Options &BatchOpts = {},
+                   const SolverOptions &SolverOpts = {},
+                   SolverStats *MergedStats = nullptr);
 
 /// The MOPS-style pushdown model checker baseline.
 class MopsChecker {

@@ -122,6 +122,35 @@ public:
     return testAndSetSpilled(Key, Ann);
   }
 
+  /// Tests bit \p Ann of row \p Key without modifying the table.
+  /// Read-only, so concurrent test() calls are race-free — the
+  /// frontier-parallel closure's workers use this to pre-filter
+  /// duplicate edges before the sequential merge.
+  bool test(uint64_t Key, uint32_t Ann) const {
+    if (InlineMode) {
+      if (Ann >= 64 || Slots.empty())
+        return false;
+      size_t Mask = Slots.size() - 1;
+      size_t I = static_cast<size_t>(mix64(Key)) & Mask;
+      while (true) {
+        const Slot &S = Slots[I];
+        if (S.Key == Key)
+          return (S.Bits >> Ann) & 1;
+        if (S.Key == Empty)
+          return false;
+        I = (I + 1) & Mask;
+      }
+    }
+    if (Ann >= Stride * 64)
+      return false;
+    const uint32_t *Row = Rows.lookup(Key);
+    if (!Row)
+      return false;
+    return (Bits[static_cast<size_t>(*Row) * Stride + Ann / 64] >>
+            (Ann % 64)) &
+           1;
+  }
+
   size_t numRows() const {
     return InlineMode ? InlineCount : Rows.size();
   }
@@ -277,6 +306,17 @@ public:
     if (B >= PerDst.size())
       PerDst.resize(static_cast<size_t>(B) + 1);
     return PerDst[B].insert((static_cast<uint64_t>(A) << 32) | Ann);
+  }
+
+  /// \returns whether the edge is already recorded, without modifying
+  /// the structure. Read-only, so concurrent contains() calls are
+  /// race-free (used by the frontier-parallel workers' pre-filter).
+  bool contains(uint32_t A, uint32_t B, uint32_t Ann) const {
+    if (Which == Backend::Bitset)
+      return Bitsets.test((static_cast<uint64_t>(A) << 32) | B, Ann);
+    if (B >= PerDst.size())
+      return false;
+    return PerDst[B].contains((static_cast<uint64_t>(A) << 32) | Ann);
   }
 
   /// Prefetches the slot a subsequent insert(A, B, Ann) will probe.

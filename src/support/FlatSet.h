@@ -151,6 +151,24 @@ public:
     return {NewValue, true};
   }
 
+  /// \returns a pointer to the value of \p Key, or nullptr if absent.
+  /// Read-only (safe to call concurrently with other lookups); the
+  /// pointer is invalidated by the next findOrInsert.
+  const uint32_t *lookup(uint64_t Key) const {
+    if (Keys.empty())
+      return nullptr;
+    size_t Mask = Keys.size() - 1;
+    size_t I = static_cast<size_t>(mix64(Key)) & Mask;
+    while (true) {
+      uint64_t S = Keys[I];
+      if (S == Key)
+        return &Values[I];
+      if (S == Empty)
+        return nullptr;
+      I = (I + 1) & Mask;
+    }
+  }
+
   void reserve(size_t N) {
     size_t Cap = 8;
     while (Cap * 7 < N * 8)
