@@ -1,0 +1,150 @@
+//===- bench/bench_snapshot.cpp - Durability costs ---------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the durability subsystem (core/Snapshot.cpp) against the
+/// closure it protects: snapshot save time, on-disk size, restore
+/// time (including the mandatory certification pass), and standalone
+/// certification time, on annotated chain systems whose transitive
+/// closure grows quadratically in the variable count. The interesting
+/// ratio is save/solve: checkpointing is only worth its periodic cost
+/// if writing a snapshot is much cheaper than recomputing the closure
+/// it preserves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "automata/DfaOps.h"
+#include "core/Certifier.h"
+#include "core/Domains.h"
+#include "core/Solver.h"
+#include "support/Rng.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+
+using namespace rasc;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// An annotated chain with periodic back edges: k0 flows through
+/// X0 -> X1 -> ... -> X{V-1} under random symbol annotations, and
+/// every 7th variable also feeds back 5 positions. The transitive
+/// rule derives O(V^2) variable-variable edges, so V scales the
+/// closure (and the snapshot) quadratically.
+struct ChainSystem {
+  std::unique_ptr<MonoidDomain> Dom;
+  std::unique_ptr<ConstraintSystem> CS;
+};
+
+ChainSystem makeChain(unsigned V, Rng &R) {
+  // A small random machine: 3 states, 2 symbols (built like the test
+  // generators, but inline — bench binaries do not see tests/).
+  DfaBuilder B;
+  SymbolId S0 = B.addSymbol("a");
+  SymbolId S1 = B.addSymbol("b");
+  for (unsigned I = 0; I != 3; ++I)
+    B.addState();
+  B.setStart(0);
+  B.setAccepting(2);
+  for (unsigned I = 0; I != 3; ++I) {
+    B.addTransition(I, S0, static_cast<StateId>(R.below(3)));
+    B.addTransition(I, S1, static_cast<StateId>(R.below(3)));
+  }
+  ChainSystem Sys;
+  Sys.Dom = std::make_unique<MonoidDomain>(minimize(B.build()));
+  Sys.CS = std::make_unique<ConstraintSystem>(*Sys.Dom);
+
+  ConsId K = Sys.CS->addConstant("k");
+  std::vector<VarId> X;
+  for (unsigned I = 0; I != V; ++I)
+    X.push_back(Sys.CS->freshVar());
+  auto Ann = [&](SymbolId S) { return Sys.Dom->symbolAnn(S); };
+  Sys.CS->add(Sys.CS->cons(K), Sys.CS->var(X[0]), Sys.Dom->identity());
+  for (unsigned I = 0; I + 1 != V; ++I)
+    Sys.CS->add(Sys.CS->var(X[I]), Sys.CS->var(X[I + 1]),
+                Ann(R.chance(1, 2) ? S0 : S1));
+  for (unsigned I = 7; I < V; I += 7)
+    Sys.CS->add(Sys.CS->var(X[I]), Sys.CS->var(X[I - 5]), Ann(S1));
+  return Sys;
+}
+
+size_t fileSize(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? static_cast<size_t>(St.st_size)
+                                        : 0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Durability: snapshot save/restore/certify vs. the "
+              "closure ==\n\n");
+  std::printf("Annotated chain systems (O(V^2) derived edges):\n");
+  std::printf("| %4s | %8s | %9s | %9s | %9s | %9s | %9s | %5s |\n",
+              "V", "edges", "solve(s)", "save(s)", "size(KB)",
+              "restore(s)", "cert(s)", "match");
+  std::printf("|------|----------|-----------|-----------|-----------|"
+              "-----------|-----------|-------|\n");
+
+  const std::string Path = "/tmp/rasc_bench_snapshot.rsnap";
+  for (unsigned V : {32u, 64u, 96u, 128u}) {
+    Rng R(V); // deterministic per row
+    ChainSystem Sys = makeChain(V, R);
+
+    BidirectionalSolver S(*Sys.CS);
+    auto T0 = std::chrono::steady_clock::now();
+    S.solve();
+    double SolveS = seconds(T0);
+
+    T0 = std::chrono::steady_clock::now();
+    if (auto D = S.saveCheckpoint(Path)) {
+      std::printf("save failed: %s\n", D->render().c_str());
+      return 1;
+    }
+    double SaveS = seconds(T0);
+    size_t Bytes = fileSize(Path);
+
+    // Restore includes the mandatory certification pass.
+    BidirectionalSolver S2(*Sys.CS);
+    T0 = std::chrono::steady_clock::now();
+    if (auto D = S2.restore(Path)) {
+      std::printf("restore failed: %s\n", D->render().c_str());
+      return 1;
+    }
+    double RestoreS = seconds(T0);
+
+    T0 = std::chrono::steady_clock::now();
+    CertificationReport Rep = certifyFixpoint(S);
+    double CertS = seconds(T0);
+
+    bool Match = Rep.Ok &&
+                 S2.stats().EdgesInserted == S.stats().EdgesInserted &&
+                 S2.stats().ComposeCalls == S.stats().ComposeCalls &&
+                 S2.processedEdges() == S.processedEdges();
+    std::printf("| %4u | %8llu | %9.4f | %9.4f | %9.1f | %9.4f"
+                " | %9.4f | %5s |\n",
+                V, (unsigned long long)S.stats().EdgesInserted, SolveS,
+                SaveS, double(Bytes) / 1024.0, RestoreS, CertS,
+                Match ? "ok" : "FAIL");
+    if (!Match)
+      return 1;
+  }
+  std::remove(Path.c_str());
+
+  std::printf("\n(restore = load + validate + rebuild + certify; a "
+              "restore slower than solve\n means re-solving is cheaper "
+              "than recovering — watch the ratio as V grows.)\n");
+  return 0;
+}

@@ -25,16 +25,35 @@
 ///   --no-resume      report an interrupted solve instead of resuming
 ///   --explain        on inconsistency, print a derivation witness
 ///
+/// Durability (DESIGN.md section 7, "Durability"):
+///
+///   --checkpoint P   single file: save crash-safe snapshots to P and
+///                    restore from P when it exists, so a killed run
+///                    resumes instead of restarting; batch: P is a
+///                    directory holding one task-<i>.rsnap per system
+///   --checkpoint-every N
+///                    also snapshot every N worklist pops (default:
+///                    only at the end of each solve call)
+///   --certify        independently re-verify the final closure
+///                    against the resolution rules (core/Certifier.h)
+///
 /// An interrupted solve is resumed with the budgets lifted (unless
 /// --no-resume), demonstrating the solver's resumability contract:
 /// the second solve() continues from the persisted closure state and
 /// reaches the same fixpoint a fresh unbudgeted run would.
+///
+/// Exit codes (scriptable; see statusExitCode in core/Solver.h):
+/// solved=0, inconsistent=1, and with --no-resume the interrupt kind:
+/// deadline=10, edge limit=11, step limit=12, memory limit=13,
+/// cancelled=14. A checkpoint that exists but cannot be restored
+/// exits 20; a failed --certify exits 21. Usage errors exit 1.
 ///
 /// See frontend/ConstraintParser.h for the file format.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/BatchSolver.h"
+#include "core/Certifier.h"
 #include "frontend/ConstraintParser.h"
 
 #include <algorithm>
@@ -93,7 +112,21 @@ struct CliOptions {
   unsigned Threads = 1;
   bool Resume = true;
   bool Explain = false;
+  std::string CheckpointPath; // batch mode: a directory
+  bool Certify = false;
 };
+
+/// Runs the independent certifier and prints its verdict; \returns
+/// the process exit code (0 = certified).
+int certify(const BidirectionalSolver &Solver, const char *Name) {
+  CertificationReport Rep = certifyFixpoint(Solver);
+  std::printf("%s: %s\n", Name, Rep.summary().c_str());
+  if (Rep.Ok)
+    return 0;
+  for (const std::string &F : Rep.Failures)
+    std::fprintf(stderr, "  %s\n", F.c_str());
+  return ExitCodeCertifyFailed;
+}
 
 int run(const std::string &Source, const char *Name, CliOptions Cli) {
   Expected<ConstraintProgram> P = ConstraintProgram::parseEx(Source);
@@ -110,7 +143,22 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
 
   Cli.Solver.TrackProvenance |= Cli.Explain;
   Cli.Solver.Threads = Cli.Threads;
+  Cli.Solver.CheckpointPath = Cli.CheckpointPath;
   BidirectionalSolver Solver(P->system(), Cli.Solver);
+  if (!Cli.CheckpointPath.empty() &&
+      std::filesystem::exists(Cli.CheckpointPath)) {
+    // A checkpoint that exists must restore: a corrupt or mismatched
+    // one is a distinct, scriptable failure (the caller decides
+    // whether to delete it and start over).
+    if (std::optional<Diag> D = Solver.restore(Cli.CheckpointPath)) {
+      std::fprintf(stderr, "%s\n", D->render().c_str());
+      return ExitCodeCorruptSnapshot;
+    }
+    std::printf("restored checkpoint %s (%zu edges, %zu pending)\n",
+                Cli.CheckpointPath.c_str(),
+                Solver.processedEdges() + Solver.pendingEdges(),
+                Solver.pendingEdges());
+  }
   Status S = Solver.solve();
   while (BidirectionalSolver::isInterrupted(S)) {
     std::printf("interrupted (%s) after %llu edges, %llu compositions\n",
@@ -120,7 +168,7 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
                 static_cast<unsigned long long>(
                     Solver.stats().ComposeCalls));
     if (!Cli.Resume)
-      return 2;
+      return statusExitCode(S);
     std::printf("resuming with budgets lifted...\n");
     Solver.options().MaxEdges = 0;
     Solver.options().MaxComposeSteps = 0;
@@ -149,7 +197,11 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
   for (const ConstraintProgram::Answer &A : P->answer(Solver))
     std::printf("  %-40s %s\n", A.Q->Text.c_str(),
                 A.Holds ? "holds" : "does not hold");
-  return 0;
+
+  if (Cli.Certify)
+    if (int Exit = certify(Solver, Name))
+      return Exit;
+  return statusExitCode(S);
 }
 
 /// Batch mode: every .rasc file under \p Dir becomes one solver task
@@ -203,6 +255,8 @@ int runBatch(const std::string &Dir, CliOptions Cli) {
   BatchSolver::Options BO;
   BO.Threads = Cli.Threads;
   BO.DeadlineSeconds = Cli.Solver.DeadlineSeconds;
+  BO.CheckpointDir = Cli.CheckpointPath;
+  BO.CheckpointEveryPops = Cli.Solver.CheckpointEveryPops;
   BatchSolver Batch(BO);
   std::printf("batch: %zu systems on %u threads\n\n", Programs.size(),
               Batch.numThreads());
@@ -234,14 +288,16 @@ int runBatch(const std::string &Dir, CliOptions Cli) {
                 static_cast<unsigned long long>(St.EdgesInserted),
                 static_cast<unsigned long long>(St.ComposeCalls),
                 Results[I].Seconds);
-    if (BidirectionalSolver::isInterrupted(Results[I].St)) {
-      Exit = 2;
+    Exit = std::max(Exit, statusExitCode(Results[I].St));
+    if (BidirectionalSolver::isInterrupted(Results[I].St))
       continue;
-    }
     for (const ConstraintProgram::Answer &A :
          Programs[I].answer(*Solvers[I]))
       std::printf("  %-40s %s\n", A.Q->Text.c_str(),
                   A.Holds ? "holds" : "does not hold");
+    if (Cli.Certify)
+      if (int CE = certify(*Solvers[I], Paths[I].c_str()))
+        Exit = std::max(Exit, CE);
   }
   std::printf("\nbatch total: %llu edges, %llu compositions, "
               "%llu parallel rounds\n",
@@ -290,6 +346,17 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       BatchDir = Argv[++I];
+    } else if (Arg == "--checkpoint") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--checkpoint needs a path\n");
+        return 1;
+      }
+      Cli.CheckpointPath = Argv[++I];
+    } else if (Arg == "--checkpoint-every") {
+      if (!numArg(Cli.Solver.CheckpointEveryPops))
+        return 1;
+    } else if (Arg == "--certify") {
+      Cli.Certify = true;
     } else if (Arg == "--no-resume") {
       Cli.Resume = false;
     } else if (Arg == "--explain") {

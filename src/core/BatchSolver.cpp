@@ -21,13 +21,18 @@ unsigned BatchSolver::numThreads() const {
   return Opts.Threads ? Opts.Threads : ThreadPool::hardwareThreads();
 }
 
+void BatchSolver::cancelAll() {
+  std::lock_guard<std::mutex> L(FanMx);
+  for (std::atomic<bool> *F : LiveTaskFlags)
+    F->store(true, std::memory_order_relaxed);
+}
+
 std::vector<BatchSolver::Result>
 BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
   using Clock = std::chrono::steady_clock;
   const auto Start = Clock::now();
   const size_t N = Solvers.size();
 
-  InternalCancel.store(false, std::memory_order_relaxed);
   if (!Pool)
     Pool = std::make_unique<ThreadPool>(numThreads());
 
@@ -43,6 +48,15 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
   std::vector<std::unique_ptr<std::atomic<bool>>> TaskCancel(N);
   for (auto &F : TaskCancel)
     F = std::make_unique<std::atomic<bool>>(false);
+
+  // Register the flags so cancelAll() can reach the running tasks
+  // directly while this thread blocks on the pool below.
+  {
+    std::lock_guard<std::mutex> L(FanMx);
+    LiveTaskFlags.clear();
+    for (auto &F : TaskCancel)
+      LiveTaskFlags.push_back(F.get());
+  }
 
   // Save every task's options; the batch governance is an overlay for
   // this call only. Restoring afterwards keeps pointers into this
@@ -61,12 +75,23 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
     BidirectionalSolver *S = Solvers[I];
     std::atomic<bool> *Flag = TaskCancel[I].get();
     Result *R = &Results[I];
-    Pool->run([this, S, Flag, R, &remaining] {
+    Pool->run([this, S, Flag, R, I, &remaining] {
       SolverOptions &O = S->options();
       O.CancelFlag = Flag;
       if (Opts.MaxTotalMemoryBytes) {
         O.GroupMemory = &GroupMemory;
         O.MaxGroupMemoryBytes = Opts.MaxTotalMemoryBytes;
+      }
+      if (!Opts.CheckpointDir.empty()) {
+        // Per-task durability: restore a previous run's snapshot if
+        // this task hasn't started yet (a rejected snapshot means
+        // re-solving from scratch — restore() left the solver fresh),
+        // then point the solver's own checkpointing at the same file.
+        O.CheckpointPath =
+            Opts.CheckpointDir + "/task-" + std::to_string(I) + ".rsnap";
+        O.CheckpointEveryPops = Opts.CheckpointEveryPops;
+        if (S->unstarted())
+          (void)S->restore(O.CheckpointPath);
       }
       if (Opts.DeadlineSeconds > 0) {
         // The batch deadline is shared: a task starting late gets
@@ -87,20 +112,31 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
     });
   }
 
-  // Supervise: poll the external cancel flag while the pool drains,
-  // fanning it out to every task flag once observed.
-  bool FannedOut = false;
-  while (!Pool->waitIdleFor(std::chrono::milliseconds(10))) {
-    if (FannedOut)
-      continue;
-    bool Cancel = InternalCancel.load(std::memory_order_relaxed) ||
-                  (Opts.CancelFlag &&
-                   Opts.CancelFlag->load(std::memory_order_relaxed));
-    if (Cancel) {
-      for (auto &F : TaskCancel)
-        F->store(true, std::memory_order_relaxed);
-      FannedOut = true;
+  // Drain the pool. cancelAll() reaches the tasks directly through
+  // the registered flags, so without an external flag this blocks on
+  // the pool's condition variable — no polling. Only a caller-owned
+  // CancelFlag (an arbitrary atomic nothing can wait on) needs the
+  // timed-wait loop, and it stops the moment the flag is fanned out.
+  if (!Opts.CancelFlag) {
+    Pool->waitIdle();
+  } else {
+    bool FannedOut = false;
+    while (!Pool->waitIdleFor(std::chrono::milliseconds(10))) {
+      if (FannedOut) {
+        Pool->waitIdle();
+        break;
+      }
+      if (Opts.CancelFlag->load(std::memory_order_relaxed)) {
+        for (auto &F : TaskCancel)
+          F->store(true, std::memory_order_relaxed);
+        FannedOut = true;
+      }
     }
+  }
+
+  {
+    std::lock_guard<std::mutex> L(FanMx);
+    LiveTaskFlags.clear();
   }
 
   Merged = SolverStats{};

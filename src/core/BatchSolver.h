@@ -28,7 +28,9 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace rasc {
@@ -62,8 +64,23 @@ public:
     /// External cancellation: when non-null and set, every running
     /// task is cancelled (Status::Cancelled, resumable). Fanned out
     /// to per-task flags by the supervisor, so the pointee only needs
-    /// to outlive solveAll().
+    /// to outlive solveAll(). Only with an external flag does
+    /// solveAll() poll at all; cancelAll() alone wakes tasks through
+    /// their flags directly and solveAll() blocks on the pool.
     const std::atomic<bool> *CancelFlag = nullptr;
+
+    /// Per-task durability (core/Snapshot.cpp): when non-empty, task I
+    /// checkpoints to "<CheckpointDir>/task-<I>.rsnap" — periodically
+    /// every CheckpointEveryPops worklist pops (0 = only each task's
+    /// final save) and always at the end of its solve, complete or
+    /// interrupted. At the start of solveAll(), any still-unstarted
+    /// task whose snapshot exists is restored from it first, so a
+    /// batch killed mid-run resumes finished tasks instantly and
+    /// re-runs only the crashed ones; a corrupt or mismatched snapshot
+    /// is ignored (that task re-solves from scratch). The directory
+    /// must exist.
+    std::string CheckpointDir;
+    uint64_t CheckpointEveryPops = 0;
   };
 
   /// Per-task outcome of one solveAll() call.
@@ -89,8 +106,12 @@ public:
   solveAll(std::span<BidirectionalSolver *const> Solvers);
 
   /// Requests cancellation of the in-flight solveAll() from another
-  /// thread; running tasks interrupt with Status::Cancelled.
-  void cancelAll() { InternalCancel.store(true, std::memory_order_relaxed); }
+  /// thread; running tasks interrupt with Status::Cancelled. Writes
+  /// the per-task flags directly (no supervisor round-trip), so it
+  /// takes effect at each task's next governance check even while
+  /// solveAll() blocks on the pool. A call with no solveAll() in
+  /// flight is a no-op.
+  void cancelAll();
 
   /// Field-wise sum of stats() over the solvers of the last
   /// solveAll() call (each solver's stats are cumulative over its own
@@ -103,8 +124,13 @@ private:
   Options Opts;
   std::unique_ptr<ThreadPool> Pool;
   std::atomic<uint64_t> GroupMemory{0};
-  std::atomic<bool> InternalCancel{false};
   SolverStats Merged;
+
+  // The in-flight call's per-task cancel flags, registered by
+  // solveAll() and written by cancelAll() under the mutex. Empty when
+  // no call is in flight.
+  std::mutex FanMx;
+  std::vector<std::atomic<bool> *> LiveTaskFlags;
 };
 
 } // namespace rasc

@@ -1,0 +1,327 @@
+//===- core/Certifier.cpp - Independent fixpoint certification ------------===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Certifier.h"
+
+#include "core/Solver.h"
+#include "support/AnnSet.h"
+
+#include <unordered_map>
+
+using namespace rasc;
+
+namespace {
+
+uint64_t pack(uint32_t A, uint32_t B) {
+  return (static_cast<uint64_t>(A) << 32) | B;
+}
+
+/// The certifier's own view of the claimed closure, built once from
+/// the solver's public enumeration and queried per obligation.
+struct ClosureView {
+  const ConstraintSystem &CS;
+  const AnnotationDomain &D;
+  bool FilterUseless;
+
+  // All derived edges (processed and pending) keyed (src, dst):
+  // conclusions of obligations may legitimately sit in the pending
+  // tail of an interrupted solve.
+  std::unordered_map<uint64_t, AnnSet> Edges;
+  // Conflicts keyed the same way.
+  std::unordered_map<uint64_t, AnnSet> ConflictSet;
+  // Per-node processed edges — the premise sets. Processed edges
+  // only: the solver's resumable invariant is that a pending edge has
+  // produced no consequences yet.
+  std::unordered_map<uint32_t, std::vector<SolvedEdge>> InProcessed;
+  std::unordered_map<uint32_t, std::vector<SolvedEdge>> OutProcessed;
+  // Function-variable constraints as packed (from, to) -> fn set.
+  std::unordered_map<uint64_t, AnnSet> FnVars;
+  // VarId -> its interned Var-expression node, from the expr table.
+  std::vector<ExprId> VarExpr;
+
+  explicit ClosureView(const BidirectionalSolver &S)
+      : CS(S.system()), D(CS.domain()),
+        FilterUseless(S.options().FilterUseless) {
+    S.forEachDerivedEdge([&](ExprId Src, ExprId Dst, AnnId Ann,
+                             bool Processed) {
+      Edges[pack(Src, Dst)].insert(Ann);
+      if (Processed) {
+        OutProcessed[Src].push_back({Src, Dst, Ann});
+        InProcessed[Dst].push_back({Src, Dst, Ann});
+      }
+    });
+    for (const SolvedEdge &C : S.conflicts())
+      ConflictSet[pack(C.Src, C.Dst)].insert(C.Ann);
+    for (const FnVarConstraint &F : S.fnVarConstraints())
+      FnVars[pack(F.From, F.To)].insert(F.Fn);
+    VarExpr.assign(CS.numVars(), InvalidExpr);
+    for (ExprId E = 0, N = CS.numExprs(); E != N; ++E) {
+      const Expr &Ex = CS.expr(E);
+      if (Ex.Kind == ExprKind::Var && Ex.V < VarExpr.size())
+        VarExpr[Ex.V] = E;
+    }
+  }
+
+  bool hasEdge(ExprId Src, ExprId Dst, AnnId Ann) const {
+    auto It = Edges.find(pack(Src, Dst));
+    return It != Edges.end() && It->second.contains(Ann);
+  }
+
+  bool hasConflict(ExprId Src, ExprId Dst, AnnId Ann) const {
+    auto It = ConflictSet.find(pack(Src, Dst));
+    return It != ConflictSet.end() && It->second.contains(Ann);
+  }
+
+  /// Whether the conclusion src ⊆^ann dst is accounted for: derived,
+  /// recorded as a constructor-mismatch conflict, or legitimately
+  /// dropped by the useless-annotation filter.
+  bool accounted(ExprId Src, ExprId Dst, AnnId Ann) const {
+    if (FilterUseless && D.isUseless(Ann))
+      return true;
+    const Expr &SE = CS.expr(Src);
+    const Expr &DE = CS.expr(Dst);
+    if (SE.Kind == ExprKind::Cons && DE.Kind == ExprKind::Cons &&
+        SE.C != DE.C)
+      return hasConflict(Src, Dst, Ann);
+    return hasEdge(Src, Dst, Ann);
+  }
+};
+
+void fail(CertificationReport &R, std::string Msg) {
+  R.Ok = false;
+  if (R.Failures.size() < CertificationReport::MaxFailures)
+    R.Failures.push_back(std::move(Msg));
+}
+
+std::string edgeStr(const ConstraintSystem &CS, ExprId Src, ExprId Dst,
+                    AnnId Ann) {
+  return CS.exprToString(Src) + " <=[" + CS.domain().toString(Ann) +
+         "] " + CS.exprToString(Dst);
+}
+
+} // namespace
+
+std::string CertificationReport::summary() const {
+  std::string S = Ok ? "certified" : "CERTIFICATION FAILED";
+  S += ": " + std::to_string(EdgesChecked) + " edges, " +
+       std::to_string(TransitiveObligations) + " transitive + " +
+       std::to_string(DecomposeObligations) + " structural + " +
+       std::to_string(ProjectionObligations) + " projection + " +
+       std::to_string(SurfaceObligations) + " surface obligations";
+  if (!Failures.empty())
+    S += ", " + std::to_string(Failures.size()) + "+ violations";
+  return S;
+}
+
+CertificationReport rasc::certifyFixpoint(const BidirectionalSolver &S) {
+  CertificationReport R;
+  const ConstraintSystem &CS = S.system();
+  const AnnotationDomain &D = CS.domain();
+  ClosureView V(S);
+
+  using Status = BidirectionalSolver::Status;
+
+  // Status consistency: a final status claims a drained worklist, and
+  // the Solved/Inconsistent split must match the conflict list.
+  if (!BidirectionalSolver::isInterrupted(S.status()) &&
+      S.pendingEdges() != 0)
+    fail(R, "final status with " + std::to_string(S.pendingEdges()) +
+                " pending edges");
+  if (S.status() == Status::Solved && !S.conflicts().empty())
+    fail(R, "status Solved with recorded conflicts");
+  if (S.status() == Status::Inconsistent && S.conflicts().empty())
+    fail(R, "status Inconsistent without a conflict");
+
+  // Conflicts must really be constructor mismatches.
+  for (const SolvedEdge &C : S.conflicts()) {
+    if (C.Src >= CS.numExprs() || C.Dst >= CS.numExprs()) {
+      fail(R, "conflict references an unknown expression");
+      continue;
+    }
+    const Expr &SE = CS.expr(C.Src);
+    const Expr &DE = CS.expr(C.Dst);
+    if (SE.Kind != ExprKind::Cons || DE.Kind != ExprKind::Cons ||
+        SE.C == DE.C)
+      fail(R, "recorded conflict is not a constructor mismatch: " +
+                  edgeStr(CS, C.Src, C.Dst, C.Ann));
+  }
+
+  // Transitivity through variable nodes: every 2-path of processed
+  // edges meeting at a variable must have its composition accounted
+  // for. (The solver only joins through variable intermediates;
+  // cons-cons edges resolve via decomposition instead.) A self-loop
+  // pairs with itself, matching the closure's explicit (e, e) join.
+  for (const auto &[Node, Ins] : V.InProcessed) {
+    if (CS.expr(Node).Kind != ExprKind::Var)
+      continue;
+    auto OutIt = V.OutProcessed.find(Node);
+    if (OutIt == V.OutProcessed.end())
+      continue;
+    for (const SolvedEdge &In : Ins) {
+      for (const SolvedEdge &Out : OutIt->second) {
+        ++R.TransitiveObligations;
+        AnnId Comp = D.compose(Out.Ann, In.Ann);
+        if (!V.accounted(In.Src, Out.Dst, Comp))
+          fail(R, "missing transitive conclusion " +
+                      edgeStr(CS, In.Src, Out.Dst, Comp) + " from " +
+                      edgeStr(CS, In.Src, In.Dst, In.Ann) + " and " +
+                      edgeStr(CS, Out.Src, Out.Dst, Out.Ann));
+      }
+    }
+  }
+
+  // Walk the processed edges once for the per-edge rules.
+  S.forEachDerivedEdge([&](ExprId Src, ExprId Dst, AnnId Ann,
+                           bool Processed) {
+    ++R.EdgesChecked;
+    if (!Processed)
+      return;
+    const Expr SE = CS.expr(Src);
+    const Expr DE = CS.expr(Dst);
+
+    // Structural decomposition of matching cons-cons edges.
+    if (SE.Kind == ExprKind::Cons && DE.Kind == ExprKind::Cons) {
+      ++R.DecomposeObligations;
+      if (SE.C != DE.C) {
+        fail(R, "constructor mismatch survived in the edge set: " +
+                    edgeStr(CS, Src, Dst, Ann));
+        return;
+      }
+      for (size_t I = 0; I != SE.Args.size(); ++I) {
+        VarId A = S.rep(SE.Args[I]);
+        VarId B = S.rep(DE.Args[I]);
+        ExprId AN = A < V.VarExpr.size() ? V.VarExpr[A] : InvalidExpr;
+        ExprId BN = B < V.VarExpr.size() ? V.VarExpr[B] : InvalidExpr;
+        bool Dropped = V.FilterUseless && D.isUseless(Ann);
+        if (AN == InvalidExpr || BN == InvalidExpr) {
+          if (!Dropped)
+            fail(R, "decomposition argument variable has no node: " +
+                        edgeStr(CS, Src, Dst, Ann));
+          continue;
+        }
+        if (!V.accounted(AN, BN, Ann))
+          fail(R, "missing decomposition conclusion " +
+                      edgeStr(CS, AN, BN, Ann) + " from " +
+                      edgeStr(CS, Src, Dst, Ann));
+      }
+      // The annotation obligation f∘a ⊆ b of the structural rule.
+      auto It = V.FnVars.find(pack(SE.Alpha, DE.Alpha));
+      if (It == V.FnVars.end() || !It->second.contains(Ann))
+        fail(R, "missing function-variable constraint for " +
+                    edgeStr(CS, Src, Dst, Ann));
+    }
+  });
+
+  // Projection rule: for every ingested projection constraint
+  // c^-i(Y) ⊆^g Z and every processed constructor edge
+  // c^a(..Xi..) ⊆^f Y', the conclusion Xi ⊆^{g∘f} Z must be
+  // accounted for.
+  const std::vector<Constraint> &Cons = CS.constraints();
+  size_t Ingested = S.ingestedConstraints();
+  for (size_t Idx = 0; Idx < Ingested; ++Idx) {
+    const Expr &L = CS.expr(Cons[Idx].Lhs);
+    if (L.Kind != ExprKind::Proj)
+      continue;
+    const Expr &Rhs = CS.expr(Cons[Idx].Rhs);
+    VarId Subject = S.rep(L.V);
+    VarId Target = S.rep(Rhs.V);
+    ExprId SubjNode =
+        Subject < V.VarExpr.size() ? V.VarExpr[Subject] : InvalidExpr;
+    if (SubjNode == InvalidExpr)
+      continue; // the subject was never touched: no premises exist
+    auto InIt = V.InProcessed.find(SubjNode);
+    if (InIt == V.InProcessed.end())
+      continue;
+    for (const SolvedEdge &In : InIt->second) {
+      const Expr &SrcE = CS.expr(In.Src);
+      if (SrcE.Kind != ExprKind::Cons || SrcE.C != L.C)
+        continue;
+      ++R.ProjectionObligations;
+      VarId Arg = S.rep(SrcE.Args[L.Index]);
+      ExprId ArgNode =
+          Arg < V.VarExpr.size() ? V.VarExpr[Arg] : InvalidExpr;
+      ExprId TgtNode =
+          Target < V.VarExpr.size() ? V.VarExpr[Target] : InvalidExpr;
+      AnnId Comp = D.compose(Cons[Idx].Ann, In.Ann);
+      bool Dropped = V.FilterUseless && D.isUseless(Comp);
+      if (ArgNode == InvalidExpr || TgtNode == InvalidExpr) {
+        if (!Dropped)
+          fail(R, "projection conclusion variables have no nodes "
+                  "(constraint " +
+                      std::to_string(Idx) + ")");
+        continue;
+      }
+      if (!V.accounted(ArgNode, TgtNode, Comp))
+        fail(R, "missing projection conclusion " +
+                    edgeStr(CS, ArgNode, TgtNode, Comp) +
+                    " (constraint " + std::to_string(Idx) + ")");
+    }
+  }
+
+  // Surface rule: every ingested non-projection constraint's
+  // canonical edge must be accounted for.
+  for (size_t Idx = 0; Idx < Ingested; ++Idx) {
+    const Expr &L = CS.expr(Cons[Idx].Lhs);
+    if (L.Kind == ExprKind::Proj)
+      continue;
+    ++R.SurfaceObligations;
+    // Canonicalize by representative substitution, without interning:
+    // look the rewritten expression up in the certifier's own view of
+    // the (already complete) expr table.
+    auto canon = [&](ExprId E) -> ExprId {
+      const Expr &Ex = CS.expr(E);
+      switch (Ex.Kind) {
+      case ExprKind::Var: {
+        VarId Rp = S.rep(Ex.V);
+        return Rp < V.VarExpr.size() ? V.VarExpr[Rp] : InvalidExpr;
+      }
+      case ExprKind::Cons: {
+        bool Changed = false;
+        for (VarId A : Ex.Args)
+          Changed |= S.rep(A) != A;
+        if (!Changed)
+          return E;
+        // Find the interned rewritten cons expression by scanning:
+        // rare (only cycle-collapsed systems reach here), and the
+        // certifier must not intern into the system.
+        for (ExprId I = 0, N = CS.numExprs(); I != N; ++I) {
+          const Expr &Cand = CS.expr(I);
+          if (Cand.Kind != ExprKind::Cons || Cand.C != Ex.C ||
+              Cand.Args.size() != Ex.Args.size())
+            continue;
+          bool Match = true;
+          for (size_t J = 0; J != Ex.Args.size(); ++J)
+            if (Cand.Args[J] != S.rep(Ex.Args[J])) {
+              Match = false;
+              break;
+            }
+          if (Match)
+            return I;
+        }
+        return InvalidExpr;
+      }
+      case ExprKind::Proj:
+        return InvalidExpr; // unreachable: filtered above
+      }
+      return InvalidExpr;
+    };
+    ExprId LC = canon(Cons[Idx].Lhs);
+    ExprId RC = canon(Cons[Idx].Rhs);
+    bool Dropped = V.FilterUseless && D.isUseless(Cons[Idx].Ann);
+    if (LC == InvalidExpr || RC == InvalidExpr) {
+      if (!Dropped)
+        fail(R, "surface constraint " + std::to_string(Idx) +
+                    " has no canonical nodes");
+      continue;
+    }
+    if (!V.accounted(LC, RC, Cons[Idx].Ann))
+      fail(R, "missing surface edge for constraint " +
+                  std::to_string(Idx) + ": " +
+                  edgeStr(CS, LC, RC, Cons[Idx].Ann));
+  }
+
+  return R;
+}

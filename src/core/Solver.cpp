@@ -19,12 +19,12 @@
 
 using namespace rasc;
 
-namespace {
-
 /// Resolves SolverOptions::Dedup against the domain size observed at
-/// solver construction.
-EdgeDedup::Backend pickDedupBackend(const SolverOptions &Opts,
-                                    const AnnotationDomain &D) {
+/// solver construction. A static member (not file-local) because the
+/// snapshot code records and re-checks the resolved backend.
+EdgeDedup::Backend
+BidirectionalSolver::resolveDedupBackend(const SolverOptions &Opts,
+                                         const AnnotationDomain &D) {
   switch (Opts.Dedup) {
   case SolverOptions::DedupBackend::Bitset:
     return EdgeDedup::Backend::Bitset;
@@ -36,6 +36,8 @@ EdgeDedup::Backend pickDedupBackend(const SolverOptions &Opts,
   return D.size() <= Opts.AnnBitsetThreshold ? EdgeDedup::Backend::Bitset
                                              : EdgeDedup::Backend::Flat;
 }
+
+namespace {
 
 double secondsSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -72,8 +74,8 @@ std::vector<ConsId> AtomReachability::witnessStack(VarId V,
 BidirectionalSolver::BidirectionalSolver(const ConstraintSystem &CS,
                                          SolverOptions Opts)
     : CS(CS), Options(Opts),
-      EdgeSeen(pickDedupBackend(Opts, CS.domain()), CS.domain().size()),
-      FnVarSeen(pickDedupBackend(Opts, CS.domain()), CS.domain().size()) {}
+      EdgeSeen(resolveDedupBackend(Opts, CS.domain()), CS.domain().size()),
+      FnVarSeen(resolveDedupBackend(Opts, CS.domain()), CS.domain().size()) {}
 
 BidirectionalSolver::~BidirectionalSolver() = default;
 
@@ -487,6 +489,9 @@ BidirectionalSolver::runClosure(std::chrono::steady_clock::time_point Start) {
     }
     Edge E = EdgeArena[PendingHead++]; // by value: process() appends
     process(E);
+    if (Options.CheckpointEveryPops &&
+        ++PopsSinceCheckpoint >= Options.CheckpointEveryPops)
+      periodicCheckpoint();
   }
   // A failpoint that fired during the worklist's final fan-out has
   // nothing left to interrupt; don't leak it into the next solve().
@@ -527,9 +532,17 @@ BidirectionalSolver::Status BidirectionalSolver::runClosureParallel(
     if (Frontier < Options.ParallelFrontierThreshold) {
       Edge E = EdgeArena[PendingHead++]; // by value: process() appends
       process(E);
-      continue;
+      Frontier = 1;
+    } else {
+      Frontier = std::min(Frontier, MaxRoundEdges);
+      parallelRound(Frontier, Threads);
     }
-    parallelRound(std::min(Frontier, MaxRoundEdges), Threads);
+    // Rounds count as their edge total so the checkpoint cadence is
+    // comparable across the two paths; saves still land only at round
+    // boundaries (the parallel path's resumable states).
+    if (Options.CheckpointEveryPops &&
+        (PopsSinceCheckpoint += Frontier) >= Options.CheckpointEveryPops)
+      periodicCheckpoint();
   }
   ForcedInterrupt.reset();
   return Status::Solved;
@@ -751,7 +764,65 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
     ++Stats.Interrupts;
     Stat = S;
   }
+
+  // Final checkpoint: covers both completion and interrupts, so a
+  // process killed between solve() calls restarts from the last
+  // solve's exact end state. Failure degrades durability, never the
+  // result.
+  if (!Options.CheckpointPath.empty()) {
+    PopsSinceCheckpoint = 0;
+    if (std::optional<Diag> D = saveCheckpoint(Options.CheckpointPath))
+      LastCheckpointDiag = std::move(D);
+    else
+      ++Stats.CheckpointsSaved;
+  }
   return Stat;
+}
+
+void BidirectionalSolver::periodicCheckpoint() {
+  PopsSinceCheckpoint = 0;
+  if (std::optional<Diag> D = saveCheckpoint(Options.CheckpointPath)) {
+    LastCheckpointDiag = std::move(D);
+    return;
+  }
+  ++Stats.CheckpointsSaved;
+  // Simulated SIGKILL right after a durable checkpoint: the solve
+  // interrupts (in-memory state to be discarded by the test) with a
+  // valid snapshot on disk for recovery.
+  if (failpoints::armedAny() &&
+      failpoints::hit(failpoints::Point::CrashAfterRename))
+    ForcedInterrupt = Status::Cancelled;
+}
+
+void BidirectionalSolver::resetToFresh() {
+  const AnnotationDomain &D = CS.domain();
+  Stats = SolverStats{};
+  Stat = Status::Solved;
+  NumIngested = 0;
+  ForcedInterrupt.reset();
+  EdgeProvs.clear();
+  ConflictProvs.clear();
+  CurProv = EdgeProv{};
+  VarReps = UnionFind{};
+  Succs = AdjacencyLists{};
+  Preds = AdjacencyLists{};
+  Watchers.clear();
+  NodeKind.clear();
+  SuccDone.clear();
+  PredDone.clear();
+  EdgeSeen = EdgeDedup(resolveDedupBackend(Options, D), D.size());
+  EdgeArena.clear();
+  PendingHead = 0;
+  Conflicts.clear();
+  FnVarCons.clear();
+  FnVarSeen = EdgeDedup(resolveDedupBackend(Options, D), D.size());
+  EagerFnVarSol.clear();
+  FnVarSolFresh = false;
+  VarNode.clear();
+  PopsSinceCheckpoint = 0;
+  LastCheckpointDiag.reset();
+  // The thread pool and round scratch are state-free between rounds;
+  // keeping them avoids re-spawning workers on a retry.
 }
 
 size_t BidirectionalSolver::memoryBytes() const {

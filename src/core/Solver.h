@@ -142,6 +142,20 @@ struct SolverOptions {
   /// EXPERIMENTS.md) while bounding interrupt latency.
   uint32_t GovernanceCheckInterval = 256;
 
+  /// Periodic checkpointing: when CheckpointPath is non-empty, the
+  /// closure saves a crash-consistent snapshot (core/Snapshot.cpp) to
+  /// that path every CheckpointEveryPops worklist pops (0 = only the
+  /// final save at the end of each solve() call, covering both
+  /// completion and interrupts). Saves happen at the same between-pops
+  /// boundaries as governance, so every snapshot is a resumable state;
+  /// BidirectionalSolver::Create(path, system) restores one and
+  /// resumes to the bit-identical fixpoint. A failed save never
+  /// interrupts the solve — it is recorded in lastCheckpointDiag()
+  /// and the solve continues (durability degrades, correctness
+  /// doesn't).
+  uint64_t CheckpointEveryPops = 0;
+  std::string CheckpointPath;
+
   /// Record the provenance of every derived edge (which rule, from
   /// which premises) so that conflictWitness() can explain a
   /// Status::Inconsistent result as a chain of surface constraints
@@ -186,6 +200,9 @@ struct SolverStats {
   // Parallel-closure counters (zero on the sequential path).
   uint64_t ParallelRounds = 0; ///< bulk-synchronous frontier rounds run
 
+  // Durability counters.
+  uint64_t CheckpointsSaved = 0; ///< snapshots committed to disk
+
   // Wall-clock phase timings, accumulated across solve() calls.
   double IngestSeconds = 0;  ///< canonicalization + surface ingest
   double ClosureSeconds = 0; ///< worklist transitive/projection closure
@@ -208,6 +225,7 @@ struct SolverStats {
     Interrupts += O.Interrupts;
     Resumes += O.Resumes;
     ParallelRounds += O.ParallelRounds;
+    CheckpointsSaved += O.CheckpointsSaved;
     IngestSeconds += O.IngestSeconds;
     ClosureSeconds += O.ClosureSeconds;
     FnVarSeconds += O.FnVarSeconds;
@@ -316,6 +334,84 @@ public:
   /// store, by container capacity. This is what MaxMemoryBytes is
   /// checked against.
   size_t memoryBytes() const;
+
+  /// \name Durability (core/Snapshot.cpp)
+  /// Crash-safe checkpoint/restore. A snapshot captures the complete
+  /// closure state — processed prefix, pending worklist tail, dedup
+  /// contents, stats — so a restored solver resumes to the
+  /// bit-identical fixpoint the in-memory resume would reach.
+  /// @{
+
+  /// Atomically writes a snapshot of the current state to \p Path
+  /// (temp file + fsync + rename; a crash mid-save leaves any previous
+  /// snapshot at \p Path intact). Legal in any state, including
+  /// mid-interrupt. \returns a Diag on I/O failure (nothing at \p Path
+  /// is disturbed then).
+  std::optional<Diag> saveCheckpoint(const std::string &Path) const;
+
+  /// Restores this solver from a snapshot file. The solver must be
+  /// fresh (no solve() yet and nothing ingested); the snapshot must
+  /// have been taken from the same constraint-system prefix (same
+  /// constructors, same ingested constraints), a compatible domain,
+  /// and matching semantic options (FilterUseless, CycleElimination,
+  /// EagerFunctionVars, TrackProvenance, resolved dedup backend) —
+  /// all verified, any mismatch is a Diag. On success the restored
+  /// closure is certified (core/Certifier.h) before control returns.
+  /// On *any* Diag the solver is left in its fresh state, so the
+  /// caller can fall back to solving from scratch.
+  std::optional<Diag> restore(const std::string &Path);
+
+  /// Convenience: constructs a solver over \p CS with \p Opts and
+  /// restores it from \p Path. A Diag means the snapshot was rejected
+  /// (corrupt, version-skewed, or mismatched) — the caller should
+  /// re-solve from scratch.
+  static Expected<std::unique_ptr<BidirectionalSolver>>
+  Create(const std::string &Path, const ConstraintSystem &CS,
+         SolverOptions Opts = {});
+
+  /// True while nothing has been ingested or derived (the state
+  /// restore() requires).
+  bool unstarted() const {
+    return NumIngested == 0 && EdgeArena.empty() && Conflicts.empty();
+  }
+
+  /// Diagnostic from the most recent *periodic* checkpoint attempt
+  /// that failed, if any (periodic save failures never interrupt the
+  /// solve; they degrade durability and are surfaced here).
+  const std::optional<Diag> &lastCheckpointDiag() const {
+    return LastCheckpointDiag;
+  }
+
+  /// @}
+
+  /// \name Certification interface (core/Certifier.h)
+  /// Read-only views of the closure for the independent fixpoint
+  /// certifier, which re-verifies the resolution rules without
+  /// trusting any solver invariant beyond these accessors.
+  /// @{
+
+  /// Invokes \p F(src, dst, ann, processed) for every non-conflict
+  /// derived edge, in derivation (arena) order. \p processed is true
+  /// for the closed prefix — edges whose consequences have been
+  /// derived; false for the pending worklist tail of an interrupted
+  /// solve.
+  template <typename Fn> void forEachDerivedEdge(Fn &&F) const {
+    for (size_t I = 0, E = EdgeArena.size(); I != E; ++I)
+      F(EdgeArena[I].Src, EdgeArena[I].Dst, EdgeArena[I].Ann,
+        I < PendingHead);
+  }
+
+  /// Edges whose consequences have been fully derived.
+  size_t processedEdges() const { return PendingHead; }
+
+  /// Worklist tail still to process (0 iff the closure is complete).
+  size_t pendingEdges() const { return EdgeArena.size() - PendingHead; }
+
+  /// Constraints of system() already ingested (a prefix of
+  /// system().constraints()).
+  size_t ingestedConstraints() const { return NumIngested; }
+
+  /// @}
 
   /// Constructor-mismatch edges discovered (manifest inconsistencies).
   const std::vector<SolvedEdge> &conflicts() const { return Conflicts; }
@@ -515,6 +611,24 @@ private:
   /// \returns Solved when nothing tripped.
   Status governanceCheck(std::chrono::steady_clock::time_point Start);
 
+  /// The backend a solver constructed with \p Opts over \p D uses
+  /// (resolves DedupBackend::Auto against the domain size). Snapshot
+  /// save/restore records and re-checks this.
+  static EdgeDedup::Backend resolveDedupBackend(const SolverOptions &Opts,
+                                                const AnnotationDomain &D);
+
+  /// Periodic checkpoint save (Options.CheckpointEveryPops): commits a
+  /// snapshot to Options.CheckpointPath, records a failure in
+  /// LastCheckpointDiag without interrupting, and consults the
+  /// CrashAfterRename failpoint (a successful save followed by a
+  /// simulated kill, for the crash-recovery tests).
+  void periodicCheckpoint();
+
+  /// Returns the solver to its freshly-constructed state (restore()'s
+  /// failure path: on any Diag the solver must be reusable from
+  /// scratch).
+  void resetToFresh();
+
   const ConstraintSystem &CS;
   SolverOptions Options;
   SolverStats Stats;
@@ -599,7 +713,44 @@ private:
   // solver at a different cell restarts the delta chain from zero.
   uint64_t LastPublishedMemory = 0;
   const std::atomic<uint64_t> *LastGroupCell = nullptr;
+
+  // Periodic checkpoint state: pops since the last save, and the
+  // diagnostic of the last failed periodic save (surfaced via
+  // lastCheckpointDiag(), never an interrupt).
+  uint64_t PopsSinceCheckpoint = 0;
+  std::optional<Diag> LastCheckpointDiag;
 };
+
+/// Exit codes rasctool reports for snapshot/certification failures,
+/// disjoint from the per-Status codes below.
+inline constexpr int ExitCodeCorruptSnapshot = 20;
+inline constexpr int ExitCodeCertifyFailed = 21;
+
+/// The documented process exit code for a final solve status, used by
+/// rasctool so shell retry loops can branch on the interrupt kind:
+/// Solved=0, Inconsistent=1, Deadline=10, EdgeLimit=11, StepLimit=12,
+/// MemoryLimit=13, Cancelled=14 (corrupt snapshot=20 and failed
+/// certification=21 are reported separately, see above).
+inline int statusExitCode(BidirectionalSolver::Status S) {
+  using Status = BidirectionalSolver::Status;
+  switch (S) {
+  case Status::Solved:
+    return 0;
+  case Status::Inconsistent:
+    return 1;
+  case Status::Deadline:
+    return 10;
+  case Status::EdgeLimit:
+    return 11;
+  case Status::StepLimit:
+    return 12;
+  case Status::MemoryLimit:
+    return 13;
+  case Status::Cancelled:
+    return 14;
+  }
+  return 2; // unreachable; defensive for out-of-range casts
+}
 
 } // namespace rasc
 

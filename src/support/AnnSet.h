@@ -178,6 +178,34 @@ public:
            Bits.capacity() * sizeof(uint64_t);
   }
 
+  /// Invokes \p F(key, ann) for every set bit, rows in hash order —
+  /// NOT insertion order. Snapshot serialization relies on the table
+  /// being reconstructible from its unordered contents.
+  template <typename Fn> void forEach(Fn &&F) const {
+    if (InlineMode) {
+      for (const Slot &S : Slots) {
+        if (S.Key == Empty)
+          continue;
+        for (uint64_t B = S.Bits; B;) {
+          uint32_t Ann = static_cast<uint32_t>(__builtin_ctzll(B));
+          B &= B - 1;
+          F(S.Key, Ann);
+        }
+      }
+      return;
+    }
+    Rows.forEach([&](uint64_t Key, uint32_t Row) {
+      for (size_t W = 0; W != Stride; ++W) {
+        for (uint64_t B = Bits[static_cast<size_t>(Row) * Stride + W]; B;) {
+          uint32_t Ann =
+              static_cast<uint32_t>(W * 64 + __builtin_ctzll(B));
+          B &= B - 1;
+          F(Key, Ann);
+        }
+      }
+    });
+  }
+
 private:
   bool testAndSetInline(uint64_t Key, uint32_t Ann) {
     if (Slots.empty())
@@ -332,6 +360,33 @@ public:
   bool prefetchWorthwhile() const {
     return Which == Backend::Bitset ? Bitsets.prefetchWorthwhile()
                                     : PerDst.size() >= 4096;
+  }
+
+  /// Invokes \p F(A, B, Ann) for every recorded edge, in an
+  /// unspecified order. The snapshot writer serializes the dedup
+  /// structure through this; replay on restore re-inserts every triple
+  /// (insertion order does not affect either backend's contents, only
+  /// its slot layout).
+  template <typename Fn> void forEachEdge(Fn &&F) const {
+    if (Which == Backend::Bitset) {
+      Bitsets.forEach([&](uint64_t Key, uint32_t Ann) {
+        F(static_cast<uint32_t>(Key >> 32), static_cast<uint32_t>(Key),
+          Ann);
+      });
+      return;
+    }
+    for (size_t B = 0, E = PerDst.size(); B != E; ++B)
+      PerDst[B].forEach([&](uint64_t Key) {
+        F(static_cast<uint32_t>(Key >> 32), static_cast<uint32_t>(B),
+          static_cast<uint32_t>(Key));
+      });
+  }
+
+  /// Total recorded edges (used to size the snapshot's dedup section).
+  size_t edgeCount() const {
+    size_t N = 0;
+    forEachEdge([&](uint32_t, uint32_t, uint32_t) { ++N; });
+    return N;
   }
 
   /// Heap bytes held. O(1) for the bitset backend; O(#destinations)

@@ -40,6 +40,26 @@ enum class Point : unsigned {
   /// Trips in the solver's amortized governance check; reported as
   /// Status::Cancelled.
   SolverCancel,
+  /// I/O faults for the snapshot subsystem (support/Serialize.h).
+  /// TornWrite: the atomic snapshot commit writes only a prefix of the
+  /// payload but still renames the temp file into place — simulating a
+  /// kernel/filesystem crash that persisted the rename before the
+  /// data. The resulting file must be rejected at load.
+  TornWrite,
+  /// ShortRead: the snapshot reader sees a truncated file even though
+  /// the on-disk bytes are complete (a short read / torn page on the
+  /// read side). The load must be rejected.
+  ShortRead,
+  /// FsyncFail: the commit's fsync "fails"; the commit aborts, removes
+  /// its temp file, and reports a Diag — the previous snapshot at the
+  /// destination path must be left intact.
+  FsyncFail,
+  /// CrashAfterRename: consulted by the solver right after a periodic
+  /// checkpoint commits; trips a simulated SIGKILL (the solve
+  /// interrupts and the in-memory state is meant to be discarded) with
+  /// a *valid* snapshot on disk — the kill-and-recover tests restore
+  /// from it.
+  CrashAfterRename,
   NumPoints,
 };
 
@@ -67,6 +87,21 @@ void disarmAll();
 /// Counts one hit of \p P. \returns true exactly once per arming: on
 /// the hit that exhausts the countdown. Unarmed points never trip.
 bool hit(Point P);
+
+/// Scoped arming: arms \p P for the lifetime of the object and disarms
+/// it on scope exit, so a test that returns early (or a failing
+/// ASSERT) cannot leak an armed point into later cases. Counters are
+/// process-global, so the guard is not reentrant per point.
+class ScopedFailPoint {
+public:
+  ScopedFailPoint(Point P, uint64_t AfterHits) : P(P) { arm(P, AfterHits); }
+  ~ScopedFailPoint() { disarm(P); }
+  ScopedFailPoint(const ScopedFailPoint &) = delete;
+  ScopedFailPoint &operator=(const ScopedFailPoint &) = delete;
+
+private:
+  Point P;
+};
 
 } // namespace failpoints
 } // namespace rasc

@@ -1,0 +1,200 @@
+//===- support/Serialize.h - Checksummed binary snapshots -------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level layer of the solver's durability subsystem
+/// (core/Snapshot.cpp): little-endian scalar encoding, CRC32, and a
+/// section-framed container file written atomically.
+///
+/// File layout (all integers little-endian):
+///
+///   magic        8 bytes  "RASCSNAP"
+///   version      u32      format version (consumer-checked)
+///   numSections  u32      section count
+///   headerCrc    u32      CRC32 of the 16 bytes above
+///   section*     numSections times:
+///     tag        u32      fourcc, writer-defined
+///     length     u64      payload bytes
+///     crc        u32      CRC32 of the payload
+///     payload    length bytes
+///
+/// Every section carries its own CRC so a torn write, a bit flip, or a
+/// truncation anywhere in the file is *detected and rejected* at load
+/// — corruption surfaces as a rasc::Diag, never as silently wrong
+/// state. Writes go through a temp file + fsync + rename so a crash
+/// mid-save leaves the previous snapshot intact; the I/O failpoints
+/// (support/FailPoint.h: TornWrite, ShortRead, FsyncFail) let tests
+/// inject each failure mode deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SUPPORT_SERIALIZE_H
+#define RASC_SUPPORT_SERIALIZE_H
+
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rasc {
+
+/// CRC32 (the standard reflected 0xEDB88320 polynomial, as in zip).
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0);
+
+/// Append-only little-endian scalar encoder into a byte buffer.
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V) { raw(&V, sizeof V); }
+  void u64(uint64_t V) { raw(&V, sizeof V); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof Bits);
+    u64(Bits);
+  }
+  void bytes(const void *Data, size_t Len) { raw(Data, Len); }
+
+  const std::vector<uint8_t> &data() const { return Buf; }
+  size_t size() const { return Buf.size(); }
+
+private:
+  void raw(const void *P, size_t N) {
+    // Scalars are stored host-order; the format is declared
+    // little-endian, which every supported target is.
+    static_assert(sizeof(uint32_t) == 4 && sizeof(double) == 8);
+    const uint8_t *B = static_cast<const uint8_t *>(P);
+    Buf.insert(Buf.end(), B, B + N);
+  }
+
+  std::vector<uint8_t> Buf;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range.
+/// Reading past the end returns zeros and latches bad(); callers check
+/// once per section instead of per scalar, and a bad() reader is how
+/// corrupt variable-length data (a length field pointing past the
+/// payload) surfaces without UB.
+class ByteReader {
+public:
+  ByteReader() = default;
+  ByteReader(const uint8_t *Data, size_t Len) : Cur(Data), End(Data + Len) {}
+
+  uint8_t u8() {
+    uint8_t V = 0;
+    raw(&V, 1);
+    return V;
+  }
+  uint32_t u32() {
+    uint32_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t V = 0;
+    raw(&V, sizeof V);
+    return V;
+  }
+  double f64() {
+    uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof V);
+    return V;
+  }
+
+  bool bad() const { return Bad; }
+  size_t remaining() const { return static_cast<size_t>(End - Cur); }
+  bool atEnd() const { return Cur == End; }
+
+private:
+  void raw(void *P, size_t N) {
+    if (remaining() < N) {
+      Bad = true;
+      Cur = End;
+      return;
+    }
+    std::memcpy(P, Cur, N);
+    Cur += N;
+  }
+
+  const uint8_t *Cur = nullptr;
+  const uint8_t *End = nullptr;
+  bool Bad = false;
+};
+
+/// Builder for a section-framed snapshot file. Sections are written in
+/// beginSection() order; commit() frames them with lengths and CRCs
+/// and writes the file atomically (temp + fsync + rename + directory
+/// fsync).
+class SnapshotWriter {
+public:
+  /// Starts a new section and returns the writer for its payload. The
+  /// reference stays valid until the next beginSection()/commit().
+  ByteWriter &beginSection(uint32_t Tag) {
+    Sections.push_back({Tag, {}});
+    return Sections.back().Body;
+  }
+
+  /// Writes the framed file to \p Path atomically. On failure nothing
+  /// at \p Path is disturbed (the temp file is removed). Consults the
+  /// TornWrite and FsyncFail failpoints.
+  std::optional<Diag> commit(const std::string &Path,
+                             uint32_t Version) const;
+
+private:
+  struct Section {
+    uint32_t Tag;
+    ByteWriter Body;
+  };
+  std::vector<Section> Sections;
+};
+
+/// Parsed, CRC-verified view of a snapshot file. All validation that
+/// the *container* can do — magic, header CRC, section framing inside
+/// the file bounds, per-section CRC — happens in read(); semantic
+/// validation of section contents is the consumer's job.
+class SnapshotReader {
+public:
+  /// Reads and verifies \p Path; any I/O error, framing error, or CRC
+  /// mismatch is a Diag. Consults the ShortRead failpoint.
+  static Expected<SnapshotReader> read(const std::string &Path);
+
+  uint32_t version() const { return Version; }
+
+  /// \returns a reader over the payload of the first section tagged
+  /// \p Tag, or an empty optional when absent.
+  std::optional<ByteReader> section(uint32_t Tag) const {
+    for (const SectionRef &S : Sections)
+      if (S.Tag == Tag)
+        return ByteReader(File.data() + S.Offset, S.Length);
+    return std::nullopt;
+  }
+
+private:
+  SnapshotReader() = default;
+
+  uint32_t Version = 0;
+  std::vector<uint8_t> File;
+  struct SectionRef {
+    uint32_t Tag;
+    size_t Offset;
+    size_t Length;
+  };
+  std::vector<SectionRef> Sections;
+};
+
+/// Packs a fourcc section tag, e.g. sectionTag("META").
+constexpr uint32_t sectionTag(const char (&S)[5]) {
+  return static_cast<uint32_t>(S[0]) | (static_cast<uint32_t>(S[1]) << 8) |
+         (static_cast<uint32_t>(S[2]) << 16) |
+         (static_cast<uint32_t>(S[3]) << 24);
+}
+
+} // namespace rasc
+
+#endif // RASC_SUPPORT_SERIALIZE_H

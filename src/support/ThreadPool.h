@@ -26,9 +26,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace rasc {
@@ -68,8 +70,13 @@ public:
     return N ? N : 1;
   }
 
-  /// Enqueues \p Job. Jobs must not throw; they may themselves call
-  /// run() (a worker finishing early steals the new work).
+  /// Enqueues \p Job. Jobs may themselves call run() (a worker
+  /// finishing early steals the new work). A job that throws does not
+  /// take the pool down: the first exception is captured and rethrown
+  /// from the next waitIdle()/waitIdleFor() that observes the drained
+  /// pool, every other queued job still runs, and the pool remains
+  /// usable afterwards. Later exceptions in the same drain are
+  /// dropped (first wins).
   void run(std::function<void()> Job) {
     size_t W = NextQueue.fetch_add(1, std::memory_order_relaxed) %
                Queues.size();
@@ -84,19 +91,32 @@ public:
     WorkCv.notify_one();
   }
 
-  /// Blocks until every submitted job has finished.
+  /// Blocks until every submitted job has finished; rethrows the
+  /// first exception any of them threw (see run()).
   void waitIdle() {
     std::unique_lock<std::mutex> L(SleepMx);
     IdleCv.wait(L, [&] { return Pending == 0; });
+    if (FirstError) {
+      std::exception_ptr E = std::exchange(FirstError, nullptr);
+      L.unlock();
+      std::rethrow_exception(E);
+    }
   }
 
-  /// waitIdle with a timeout; \returns true when the pool drained.
-  /// Lets a supervisor poll external conditions (a user cancel flag, a
-  /// batch deadline) while jobs run.
+  /// waitIdle with a timeout; \returns true when the pool drained
+  /// (rethrowing a job exception then, like waitIdle). Lets a
+  /// supervisor poll external conditions (a user cancel flag, a batch
+  /// deadline) while jobs run.
   template <typename Rep, typename Period>
   bool waitIdleFor(std::chrono::duration<Rep, Period> D) {
     std::unique_lock<std::mutex> L(SleepMx);
-    return IdleCv.wait_for(L, D, [&] { return Pending == 0; });
+    bool Drained = IdleCv.wait_for(L, D, [&] { return Pending == 0; });
+    if (Drained && FirstError) {
+      std::exception_ptr E = std::exchange(FirstError, nullptr);
+      L.unlock();
+      std::rethrow_exception(E);
+    }
+    return Drained;
   }
 
 private:
@@ -129,13 +149,27 @@ private:
     return false;
   }
 
+  /// Runs \p Job, converting a thrown exception into a captured
+  /// exception_ptr (the caller folds it into FirstError under
+  /// SleepMx). Workers never unwind out of the loop.
+  static std::exception_ptr runJob(std::function<void()> &Job) {
+    try {
+      Job();
+    } catch (...) {
+      return std::current_exception();
+    }
+    return nullptr;
+  }
+
   void workerLoop(size_t Self) {
     std::function<void()> Job;
     while (true) {
       if (findJob(Self, Job)) {
-        Job();
+        std::exception_ptr Err = runJob(Job);
         Job = nullptr; // release captures before sleeping
         std::lock_guard<std::mutex> L(SleepMx);
+        if (Err && !FirstError)
+          FirstError = std::move(Err);
         if (--Pending == 0)
           IdleCv.notify_all();
         continue;
@@ -150,10 +184,11 @@ private:
       ++Executing; // reserve: leave the wait so the scan can run
       L.unlock();
       bool Found = findJob(Self, Job);
-      if (Found)
-        Job();
+      std::exception_ptr Err = Found ? runJob(Job) : nullptr;
       Job = nullptr;
       L.lock();
+      if (Err && !FirstError)
+        FirstError = std::move(Err);
       --Executing;
       if (Found && --Pending == 0)
         IdleCv.notify_all();
@@ -169,6 +204,7 @@ private:
   uint64_t Pending = 0;   // submitted, not yet finished
   uint64_t Executing = 0; // claimed by a woken worker (see workerLoop)
   bool Stop = false;
+  std::exception_ptr FirstError; // first job exception of this drain
 };
 
 } // namespace rasc
