@@ -154,3 +154,78 @@ EOF
 else
   echo "note: $PAR_BIN not built; skipping thread-scaling sweep" >&2
 fi
+
+# --- Observability overhead A/B (DESIGN.md §9) -------------------------
+# Runs bench_trace_overhead (the Section 4 DAG closure with the
+# observability layer off / tracing on / metrics on) and appends an
+# "observability" entry. Every round is one process invocation covering
+# all three configurations, so off and on are interleaved A/B across
+# rounds (min-of-9 by default); the "overhead_pct" fields compare the
+# on-configurations' min against the off min per size. Skipped when the
+# overhead bench binary is not built.
+
+OBS_BIN="${BENCH_OBS_BIN:-$REPO_ROOT/build/bench/bench_trace_overhead}"
+OBS_ROUNDS="${BENCH_OBS_ROUNDS:-9}"
+
+if [ -x "$OBS_BIN" ]; then
+  for R in $(seq 1 "$OBS_ROUNDS"); do
+    "$OBS_BIN" --benchmark_min_time="$MIN_TIME" \
+               --benchmark_format=json >"$TMPDIR_BENCH/obs_$R.json"
+    echo "observability round $R/$OBS_ROUNDS done" >&2
+  done
+
+  python3 - "$OUT" "$LABEL" "$TMPDIR_BENCH" "$OBS_ROUNDS" <<'EOF'
+import json, os, statistics, sys
+
+out_path, label, tmpdir, rounds = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+
+per_cfg = {}  # benchmark name -> {"ms": [...], "edges": N}
+for r in range(1, rounds + 1):
+    with open(os.path.join(tmpdir, f"obs_{r}.json")) as f:
+        doc = json.load(f)
+    for b in doc["benchmarks"]:
+        rec = per_cfg.setdefault(b["name"], {"ms": [], "edges": 0})
+        rec["ms"].append(b["real_time"] / 1e6)  # ns -> ms
+        rec["edges"] = int(b.get("edges", 0))
+
+configs = {
+    name: {
+        "min_ms": round(min(rec["ms"]), 3),
+        "median_ms": round(statistics.median(rec["ms"]), 3),
+        "edges": rec["edges"],
+    }
+    for name, rec in sorted(per_cfg.items())
+}
+# Overhead of each on-configuration vs the off baseline, per size.
+for name, cfg in configs.items():
+    if "Off" in name:
+        continue
+    size = name.rsplit("/", 1)[1]
+    base = configs.get(f"BM_SolveObservabilityOff/{size}")
+    if base and base["min_ms"] > 0:
+        cfg["overhead_pct"] = round(
+            100.0 * (cfg["min_ms"] - base["min_ms"]) / base["min_ms"], 2)
+
+entry = {
+    "label": label,
+    "benchmark": "observability",
+    "rounds": rounds,
+    "configs": configs,
+}
+
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+doc.setdefault("runs", []).append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"appended 'observability' entry for '{label}' to {out_path}")
+for name, cfg in sorted(configs.items()):
+    extra = f", overhead {cfg['overhead_pct']}%" if "overhead_pct" in cfg else ""
+    print(f"  {name}: min {cfg['min_ms']:.2f} ms{extra}")
+EOF
+else
+  echo "note: $OBS_BIN not built; skipping observability A/B" >&2
+fi

@@ -37,6 +37,17 @@
 ///   --certify        independently re-verify the final closure
 ///                    against the resolution rules (core/Certifier.h)
 ///
+/// Observability (DESIGN.md section 9):
+///
+///   --trace FILE     record structured solver events and write a
+///                    Chrome trace_event JSON to FILE on exit (load
+///                    it at https://ui.perfetto.dev or chrome://tracing)
+///   --metrics        print the metrics registry snapshot (counters,
+///                    gauges, histograms) as JSON on exit
+///   --progress N     print a one-line progress report to stderr
+///                    every N seconds while solving (implies metrics
+///                    collection for the gauges it reads)
+///
 /// An interrupted solve is resumed with the budgets lifted (unless
 /// --no-resume), demonstrating the solver's resumability contract:
 /// the second solve() continues from the persisted closure state and
@@ -54,7 +65,9 @@
 
 #include "core/BatchSolver.h"
 #include "core/Certifier.h"
+#include "core/Observe.h"
 #include "frontend/ConstraintParser.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -313,6 +326,8 @@ int main(int Argc, char **Argv) {
   CliOptions Cli;
   const char *Path = nullptr;
   const char *BatchDir = nullptr;
+  const char *TracePath = nullptr;
+  bool Metrics = false;
   for (int I = 1; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
     auto numArg = [&](uint64_t &Out) {
@@ -355,6 +370,20 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--checkpoint-every") {
       if (!numArg(Cli.Solver.CheckpointEveryPops))
         return 1;
+    } else if (Arg == "--trace") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--trace needs a file\n");
+        return 1;
+      }
+      TracePath = Argv[++I];
+    } else if (Arg == "--metrics") {
+      Metrics = true;
+    } else if (Arg == "--progress") {
+      uint64_t N = 0;
+      if (!numArg(N))
+        return 1;
+      observe::setProgressEverySeconds(static_cast<unsigned>(N));
+      observe::setMetricsEnabled(true);
     } else if (Arg == "--certify") {
       Cli.Certify = true;
     } else if (Arg == "--no-resume") {
@@ -369,19 +398,44 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  if (BatchDir)
-    return runBatch(BatchDir, Cli);
-  if (!Path) {
+  if (TracePath)
+    trace::setEnabled(true);
+  if (Metrics)
+    observe::setMetricsEnabled(true);
+
+  int Exit;
+  if (BatchDir) {
+    Exit = runBatch(BatchDir, Cli);
+  } else if (!Path) {
     std::printf("(no input file; running the embedded Example 2.4 "
                 "demo)\n\n");
-    return run(Demo, "demo", Cli);
+    Exit = run(Demo, "demo", Cli);
+  } else {
+    std::ifstream File(Path);
+    if (!File) {
+      std::fprintf(stderr, "cannot open %s\n", Path);
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << File.rdbuf();
+    Exit = run(SS.str(), Path, Cli);
   }
-  std::ifstream File(Path);
-  if (!File) {
-    std::fprintf(stderr, "cannot open %s\n", Path);
-    return 1;
+
+  if (TracePath) {
+    trace::setEnabled(false);
+    std::string Err;
+    if (!trace::writeChromeJson(TracePath, &Err)) {
+      std::fprintf(stderr, "cannot write trace: %s\n", Err.c_str());
+      Exit = std::max(Exit, 1);
+    } else {
+      std::fprintf(stderr, "wrote %llu trace events to %s (%llu dropped)\n",
+                   static_cast<unsigned long long>(trace::eventCount()),
+                   TracePath,
+                   static_cast<unsigned long long>(trace::droppedCount()));
+    }
   }
-  std::ostringstream SS;
-  SS << File.rdbuf();
-  return run(SS.str(), Path, Cli);
+  if (Metrics)
+    std::printf("%s\n",
+                MetricsRegistry::global().snapshot().toJson().c_str());
+  return Exit;
 }

@@ -7,6 +7,7 @@
 #include "core/BatchSolver.h"
 
 #include "support/ThreadPool.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -76,6 +77,9 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
     std::atomic<bool> *Flag = TaskCancel[I].get();
     Result *R = &Results[I];
     Pool->run([this, S, Flag, R, I, &remaining] {
+      RASC_TRACE_SCOPE("batch.task", I);
+      if (trace::enabled())
+        trace::instant("batch.task.start", I);
       SolverOptions &O = S->options();
       O.CancelFlag = Flag;
       if (Opts.MaxTotalMemoryBytes) {
@@ -109,6 +113,9 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
       auto T0 = Clock::now();
       R->St = S->solve();
       R->Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+      if (trace::enabled())
+        trace::instant("batch.task.finish", I,
+                       static_cast<uint64_t>(statusExitCode(R->St)));
     });
   }
 

@@ -8,6 +8,7 @@
 
 #include "core/Solver.h"
 #include "support/AnnSet.h"
+#include "support/Trace.h"
 
 #include <unordered_map>
 
@@ -117,12 +118,35 @@ std::string CertificationReport::summary() const {
 }
 
 CertificationReport rasc::certifyFixpoint(const BidirectionalSolver &S) {
+  RASC_TRACE_SCOPE("certify");
   CertificationReport R;
   const ConstraintSystem &CS = S.system();
   const AnnotationDomain &D = CS.domain();
   ClosureView V(S);
 
   using Status = BidirectionalSolver::Status;
+
+  // Processed-prefix counter cross-check: the exactly-once join
+  // accounting (and the transitive obligations above) is built on the
+  // solver's per-node processed counts, so re-derive them from the
+  // edge enumeration and compare. A corrupt counter means joins were
+  // silently skipped or double-counted even if the edge set looks
+  // closed.
+  for (ExprId Node = 0, N = static_cast<ExprId>(S.numGraphNodes());
+       Node != N; ++Node) {
+    auto OutIt = V.OutProcessed.find(Node);
+    auto InIt = V.InProcessed.find(Node);
+    size_t Outs = OutIt == V.OutProcessed.end() ? 0 : OutIt->second.size();
+    size_t Ins = InIt == V.InProcessed.end() ? 0 : InIt->second.size();
+    if (S.processedOut(Node) != Outs)
+      fail(R, "processed-out counter of node " + std::to_string(Node) +
+                  " claims " + std::to_string(S.processedOut(Node)) +
+                  ", arena recount gives " + std::to_string(Outs));
+    if (S.processedIn(Node) != Ins)
+      fail(R, "processed-in counter of node " + std::to_string(Node) +
+                  " claims " + std::to_string(S.processedIn(Node)) +
+                  ", arena recount gives " + std::to_string(Ins));
+  }
 
   // Status consistency: a final status claims a drained worklist, and
   // the Solved/Inconsistent split must match the conflict list.

@@ -1,0 +1,213 @@
+//===- core/Observe.cpp - Metrics registry and progress -------------------===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Observe.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace rasc {
+
+struct MetricsRegistry::Impl {
+  std::mutex M;
+  // Node-stable maps: references handed out by counter()/gauge()/
+  // histogram() must survive later insertions.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+MetricsRegistry::Impl &MetricsRegistry::impl() const {
+  Impl *I = P.load(std::memory_order_acquire);
+  if (I)
+    return *I;
+  Impl *Fresh = new Impl();
+  if (P.compare_exchange_strong(I, Fresh, std::memory_order_acq_rel))
+    return *Fresh;
+  delete Fresh; // another thread won the race
+  return *I;
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  delete P.load(std::memory_order_acquire);
+}
+
+MetricsRegistry::Counter &MetricsRegistry::counter(std::string_view Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.M);
+  assert(I.Gauges.find(Name) == I.Gauges.end() &&
+         I.Histograms.find(Name) == I.Histograms.end() &&
+         "metric name registered with a different instrument kind");
+  auto It = I.Counters.find(Name);
+  if (It == I.Counters.end())
+    It = I.Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+MetricsRegistry::Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.M);
+  assert(I.Counters.find(Name) == I.Counters.end() &&
+         I.Histograms.find(Name) == I.Histograms.end() &&
+         "metric name registered with a different instrument kind");
+  auto It = I.Gauges.find(Name);
+  if (It == I.Gauges.end())
+    It = I.Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+MetricsRegistry::Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.M);
+  assert(I.Counters.find(Name) == I.Counters.end() &&
+         I.Gauges.find(Name) == I.Gauges.end() &&
+         "metric name registered with a different instrument kind");
+  auto It = I.Histograms.find(Name);
+  if (It == I.Histograms.end())
+    It = I.Histograms.emplace(std::string(Name), std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.M);
+  Snapshot S;
+  S.Counters.reserve(I.Counters.size());
+  for (const auto &[N, C] : I.Counters)
+    S.Counters.emplace_back(N, C->get());
+  S.Gauges.reserve(I.Gauges.size());
+  for (const auto &[N, G] : I.Gauges)
+    S.Gauges.emplace_back(N, G->get());
+  S.Histograms.reserve(I.Histograms.size());
+  for (const auto &[N, H] : I.Histograms) {
+    Snapshot::HistData D;
+    D.Name = N;
+    D.Count = H->Count.load(std::memory_order_relaxed);
+    D.Sum = H->Sum.load(std::memory_order_relaxed);
+    D.Max = H->Max.load(std::memory_order_relaxed);
+    unsigned Last = 0;
+    uint64_t Vals[Histogram::NumBuckets];
+    for (unsigned B = 0; B != Histogram::NumBuckets; ++B) {
+      Vals[B] = H->Buckets[B].load(std::memory_order_relaxed);
+      if (Vals[B])
+        Last = B + 1;
+    }
+    D.Buckets.assign(Vals, Vals + Last);
+    S.Histograms.push_back(std::move(D));
+  }
+  return S;
+}
+
+void MetricsRegistry::reset() {
+  Impl &I = impl();
+  std::lock_guard<std::mutex> L(I.M);
+  for (auto &[N, C] : I.Counters)
+    C->V.store(0, std::memory_order_relaxed);
+  for (auto &[N, G] : I.Gauges)
+    G->V.store(0, std::memory_order_relaxed);
+  for (auto &[N, H] : I.Histograms) {
+    for (auto &B : H->Buckets)
+      B.store(0, std::memory_order_relaxed);
+    H->Count.store(0, std::memory_order_relaxed);
+    H->Sum.store(0, std::memory_order_relaxed);
+    H->Max.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *R = new MetricsRegistry(); // leaked: handles may
+                                                     // be cached by
+                                                     // late-exiting threads
+  return *R;
+}
+
+std::string MetricsRegistry::Snapshot::toJson() const {
+  std::string Out;
+  Out += "{\"counters\":{";
+  bool First = true;
+  for (const auto &[N, V] : Counters) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += N;
+    Out += "\":";
+    Out += std::to_string(V);
+  }
+  Out += "},\"gauges\":{";
+  First = true;
+  for (const auto &[N, V] : Gauges) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += N;
+    Out += "\":";
+    Out += std::to_string(V);
+  }
+  Out += "},\"histograms\":{";
+  First = true;
+  for (const HistData &H : Histograms) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += '"';
+    Out += H.Name;
+    Out += "\":{\"count\":";
+    Out += std::to_string(H.Count);
+    Out += ",\"sum\":";
+    Out += std::to_string(H.Sum);
+    Out += ",\"max\":";
+    Out += std::to_string(H.Max);
+    Out += ",\"mean\":";
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f",
+                  H.Count ? static_cast<double>(H.Sum) /
+                                static_cast<double>(H.Count)
+                          : 0.0);
+    Out += Buf;
+    Out += ",\"buckets\":[";
+    for (size_t B = 0; B != H.Buckets.size(); ++B) {
+      if (B)
+        Out += ',';
+      Out += std::to_string(H.Buckets[B]);
+    }
+    Out += "]}";
+  }
+  Out += "}}";
+  return Out;
+}
+
+namespace observe {
+
+std::atomic<bool> detail::MetricsOn{false};
+std::atomic<uint64_t> detail::ProgressEveryMs{0};
+
+void setMetricsEnabled(bool On) {
+  detail::MetricsOn.store(On, std::memory_order_relaxed);
+}
+
+void setProgressEverySeconds(double Seconds) {
+  uint64_t Ms = Seconds > 0 ? static_cast<uint64_t>(Seconds * 1000.0) : 0;
+  if (Seconds > 0 && Ms == 0)
+    Ms = 1;
+  detail::ProgressEveryMs.store(Ms, std::memory_order_relaxed);
+}
+
+double progressEverySeconds() {
+  return static_cast<double>(
+             detail::ProgressEveryMs.load(std::memory_order_relaxed)) /
+         1000.0;
+}
+
+} // namespace observe
+} // namespace rasc

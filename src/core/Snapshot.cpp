@@ -80,6 +80,7 @@ Diag rejected(const std::string &Path, const std::string &Why) {
 
 std::optional<Diag>
 BidirectionalSolver::saveCheckpoint(const std::string &Path) const {
+  RASC_TRACE_SCOPE("snapshot.save", EdgeArena.size());
   const AnnotationDomain &D = CS.domain();
   SnapshotWriter W;
 
@@ -257,6 +258,7 @@ BidirectionalSolver::saveCheckpoint(const std::string &Path) const {
 }
 
 std::optional<Diag> BidirectionalSolver::restore(const std::string &Path) {
+  RASC_TRACE_SCOPE("snapshot.restore");
   if (!unstarted())
     return Diag("restore requires a fresh solver (state already present)");
 

@@ -6,6 +6,7 @@
 
 #include "core/Solver.h"
 
+#include "core/Observe.h"
 #include "support/FailPoint.h"
 #include "support/FlatSet.h"
 #include "support/ThreadPool.h"
@@ -13,6 +14,7 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <sstream>
@@ -193,6 +195,7 @@ void BidirectionalSolver::collapseCycles(size_t FirstNew) {
       // All children done.
       if (Low[V] == Index[V]) {
         uint32_t First = ~0u;
+        uint32_t Merged = 0;
         while (true) {
           uint32_t W = Stack.back();
           Stack.pop_back();
@@ -202,10 +205,13 @@ void BidirectionalSolver::collapseCycles(size_t FirstNew) {
           } else {
             VarReps.merge(First, W);
             ++Stats.CollapsedVars;
+            ++Merged;
           }
           if (W == V)
             break;
         }
+        if (Merged && trace::enabled())
+          trace::instant("solver.cycle.collapse", First, Merged);
       }
       Frames.pop_back();
       if (!Frames.empty()) {
@@ -248,6 +254,8 @@ void BidirectionalSolver::ingest(const Constraint &C, uint32_t Idx) {
     VarId Arg = SE.Args[LE.Index]; // before varNode can invalidate SE
     ++Stats.ProjectionSteps;
     ++Stats.ComposeCalls;
+    if (trace::enabled())
+      trace::instant("solver.projection", Src, YNode);
     if (Options.TrackProvenance)
       CurProv = {EdgeProv::Rule::Projection, Idx, Edge{Src, YNode, F}};
     addEdge(varNode(Arg), varNode(RE.V), CS.domain().compose(C.Ann, F));
@@ -261,6 +269,8 @@ void BidirectionalSolver::insertFreshEdge(ExprId Src, ExprId Dst,
     return;
   }
   ++Stats.EdgesInserted;
+  if (trace::enabled())
+    trace::instant("solver.edge.insert", Src, Dst);
   // Budgets are enforced between worklist pops (see addEdge): an edge
   // that passed dedup is always inserted, so the dedup tables and the
   // arena never disagree across an interrupt. The test-only failpoint
@@ -294,6 +304,8 @@ void BidirectionalSolver::decompose(const Edge &E) {
   const Expr R = CS.expr(E.Dst);
   assert(L.C == R.C && "mismatch handled at insertion");
   ++Stats.DecomposeSteps;
+  if (trace::enabled())
+    trace::instant("solver.decompose", E.Src, E.Dst);
   if (Options.TrackProvenance)
     CurProv = {EdgeProv::Rule::Decompose, ~0u, E};
   for (size_t I = 0; I != L.Args.size(); ++I)
@@ -331,6 +343,10 @@ void BidirectionalSolver::process(const Edge &E) {
     const AnnId *Row = D.composeRowRhs(E.Ann);
     uint32_t Deg = SuccDone[E.Dst];
     Stats.ComposeCalls += Deg;
+    // Aggregated per scan, not per join: an event inside the chunk
+    // loops would put a flag load in the innermost hot path.
+    if (trace::enabled() && Deg)
+      trace::instant("solver.compose", Deg, E.Dst);
     // Prefetch pass first: the dedup probes of one chunk are
     // independent, so their cache misses overlap instead of
     // serializing (the probe stream has no locality). Only worth it
@@ -367,6 +383,8 @@ void BidirectionalSolver::process(const Edge &E) {
           continue;
         ++Stats.ProjectionSteps;
         ++Stats.ComposeCalls;
+        if (trace::enabled())
+          trace::instant("solver.projection", E.Src, E.Dst);
         if (Track)
           CurProv = {EdgeProv::Rule::Projection, W.ConsIdx, E};
         addEdge(varNode(SE.Args[W.Index]), varNode(W.Target),
@@ -381,6 +399,8 @@ void BidirectionalSolver::process(const Edge &E) {
     const AnnId *Row = D.composeRowLhs(E.Ann);
     uint32_t Deg = PredDone[E.Src];
     Stats.ComposeCalls += Deg;
+    if (trace::enabled() && Deg)
+      trace::instant("solver.compose", Deg, E.Src);
     bool Pf = Row && EdgeSeen.prefetchWorthwhile();
     Preds.forEachChunks(
         E.Src, Deg, [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
@@ -416,6 +436,35 @@ void BidirectionalSolver::addFnVarConstraint(FnVarId From, AnnId Fn,
 BidirectionalSolver::Status
 BidirectionalSolver::governanceCheck(std::chrono::steady_clock::time_point Start) {
   ++Stats.BudgetChecks;
+  if (trace::enabled())
+    trace::instant("solver.governance", Stats.EdgesInserted,
+                   pendingEdges());
+  if (observe::metricsEnabled()) {
+    // Point-in-time occupancy at the governance cadence: cheap enough
+    // to sample every check, and mid-solve snapshots see live values.
+    MetricsRegistry &M = MetricsRegistry::global();
+    M.gauge("solver.pending_edges").set(pendingEdges());
+    M.gauge("solver.dedup_bytes").set(EdgeSeen.memoryBytes());
+    M.gauge("solver.monoid_size").set(CS.domain().size());
+  }
+  if (double Every = observe::progressEverySeconds(); Every > 0) {
+    auto Now = std::chrono::steady_clock::now();
+    if (LastProgress.time_since_epoch().count() == 0) {
+      LastProgress = Now; // arm on first check; report from then on
+    } else if (std::chrono::duration<double>(Now - LastProgress).count() >=
+               Every) {
+      LastProgress = Now;
+      std::fprintf(
+          stderr,
+          "[rasc] edges=%llu dup=%llu pending=%zu compose=%llu "
+          "mem=%.1fMiB\n",
+          static_cast<unsigned long long>(Stats.EdgesInserted),
+          static_cast<unsigned long long>(Stats.EdgesDropped),
+          pendingEdges(),
+          static_cast<unsigned long long>(Stats.ComposeCalls),
+          static_cast<double>(memoryBytes()) / (1024.0 * 1024.0));
+    }
+  }
   if (Options.CancelFlag &&
       Options.CancelFlag->load(std::memory_order_relaxed))
     return Status::Cancelled;
@@ -488,6 +537,8 @@ BidirectionalSolver::runClosure(std::chrono::steady_clock::time_point Start) {
         return S;
     }
     Edge E = EdgeArena[PendingHead++]; // by value: process() appends
+    if (trace::enabled())
+      trace::instant("solver.pop", E.Src, E.Dst);
     process(E);
     if (Options.CheckpointEveryPops &&
         ++PopsSinceCheckpoint >= Options.CheckpointEveryPops)
@@ -582,6 +633,11 @@ BidirectionalSolver::Status BidirectionalSolver::runClosureParallel(
 /// whether a worker pre-filtered it or the merge's probe caught it.
 void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
   ++Stats.ParallelRounds;
+  RASC_TRACE_SCOPE("solver.round", Frontier, Threads);
+  if (observe::metricsEnabled())
+    MetricsRegistry::global()
+        .histogram("solver.frontier_width")
+        .record(Frontier);
   const AnnotationDomain &D = CS.domain();
   constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
   constexpr uint8_t KVar = static_cast<uint8_t>(ExprKind::Var);
@@ -692,6 +748,8 @@ void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
             continue;
           ++Stats.ProjectionSteps;
           ++Stats.ComposeCalls;
+          if (trace::enabled())
+            trace::instant("solver.projection", E.Src, E.Dst);
           addEdge(varNode(SE.Args[W.Index]), varNode(W.Target),
                   Row ? Row[W.Ann] : D.compose(W.Ann, E.Ann));
         }
@@ -720,7 +778,11 @@ void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
 }
 
 BidirectionalSolver::Status BidirectionalSolver::solve() {
+  RASC_TRACE_SCOPE("solver.solve");
   auto Start = std::chrono::steady_clock::now();
+  // Metrics are recorded as deltas over this call so repeated solves
+  // (resumes, online re-solves) accumulate instead of double-counting.
+  const SolverStats Before = Stats;
 
   if (isInterrupted(Stat))
     ++Stats.Resumes;
@@ -732,9 +794,12 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
     collapseCycles(0);
 
   const std::vector<Constraint> &Cons = CS.constraints();
-  while (NumIngested < Cons.size()) {
-    uint32_t Idx = static_cast<uint32_t>(NumIngested);
-    ingest(Cons[NumIngested++], Idx);
+  {
+    RASC_TRACE_SCOPE("solver.ingest", Cons.size() - NumIngested);
+    while (NumIngested < Cons.size()) {
+      uint32_t Idx = static_cast<uint32_t>(NumIngested);
+      ingest(Cons[NumIngested++], Idx);
+    }
   }
 
   Stats.IngestSeconds += secondsSince(Start);
@@ -745,16 +810,22 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
   // the sequential path too.
   unsigned Threads =
       Options.Threads ? Options.Threads : ThreadPool::hardwareThreads();
-  Status S = (Threads > 1 && !Options.TrackProvenance)
-                 ? runClosureParallel(Start, Threads)
-                 : runClosure(Start);
+  Status S;
+  {
+    RASC_TRACE_SCOPE("solver.closure", pendingEdges(), Threads);
+    S = (Threads > 1 && !Options.TrackProvenance)
+            ? runClosureParallel(Start, Threads)
+            : runClosure(Start);
+  }
 
   Stats.ClosureSeconds += secondsSince(ClosureStart);
   auto FnVarStart = std::chrono::steady_clock::now();
 
   FnVarSolFresh = false;
-  if (Options.EagerFunctionVars && S == Status::Solved)
+  if (Options.EagerFunctionVars && S == Status::Solved) {
+    RASC_TRACE_SCOPE("solver.fnvar");
     runEagerFnVars();
+  }
 
   Stats.FnVarSeconds += secondsSince(FnVarStart);
 
@@ -776,7 +847,44 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
     else
       ++Stats.CheckpointsSaved;
   }
+  if (observe::metricsEnabled())
+    recordSolveMetrics(Before);
   return Stat;
+}
+
+void BidirectionalSolver::recordSolveMetrics(
+    const SolverStats &Before) const {
+  MetricsRegistry &M = MetricsRegistry::global();
+  uint64_t Ins = Stats.EdgesInserted - Before.EdgesInserted;
+  uint64_t Dup = Stats.EdgesDropped - Before.EdgesDropped;
+  M.counter("solver.edges_inserted").add(Ins);
+  M.counter("solver.edges_deduped").add(Dup);
+  M.counter("solver.useless_filtered")
+      .add(Stats.UselessFiltered - Before.UselessFiltered);
+  M.counter("solver.compose_calls")
+      .add(Stats.ComposeCalls - Before.ComposeCalls);
+  M.counter("solver.decompose_steps")
+      .add(Stats.DecomposeSteps - Before.DecomposeSteps);
+  M.counter("solver.projection_steps")
+      .add(Stats.ProjectionSteps - Before.ProjectionSteps);
+  M.counter("solver.parallel_rounds")
+      .add(Stats.ParallelRounds - Before.ParallelRounds);
+  M.counter("solver.checkpoints_saved")
+      .add(Stats.CheckpointsSaved - Before.CheckpointsSaved);
+  auto Ns = [](double Seconds) {
+    return static_cast<uint64_t>(Seconds * 1e9);
+  };
+  M.counter("solver.ingest_ns")
+      .add(Ns(Stats.IngestSeconds - Before.IngestSeconds));
+  M.counter("solver.closure_ns")
+      .add(Ns(Stats.ClosureSeconds - Before.ClosureSeconds));
+  M.counter("solver.fnvar_ns")
+      .add(Ns(Stats.FnVarSeconds - Before.FnVarSeconds));
+  M.gauge("solver.monoid_size").set(CS.domain().size());
+  M.gauge("solver.dedup_bytes").set(EdgeSeen.memoryBytes());
+  M.gauge("solver.memory_bytes").set(memoryBytes());
+  if (Ins + Dup)
+    M.gauge("solver.dedup_hit_rate_pct").set(100 * Dup / (Ins + Dup));
 }
 
 void BidirectionalSolver::periodicCheckpoint() {
@@ -786,6 +894,9 @@ void BidirectionalSolver::periodicCheckpoint() {
     return;
   }
   ++Stats.CheckpointsSaved;
+  if (trace::enabled())
+    trace::instant("solver.checkpoint.save", Stats.CheckpointsSaved,
+                   processedEdges());
   // Simulated SIGKILL right after a durable checkpoint: the solve
   // interrupts (in-memory state to be discarded by the test) with a
   // valid snapshot on disk for recovery.

@@ -35,6 +35,7 @@
 #include "core/GroundTerm.h"
 #include "support/Adjacency.h"
 #include "support/AnnSet.h"
+#include "support/Trace.h"
 #include "support/UnionFind.h"
 
 #include <atomic>
@@ -411,6 +412,19 @@ public:
   /// system().constraints()).
   size_t ingestedConstraints() const { return NumIngested; }
 
+  /// Nodes the closure graph has grown to (valid ids for the two
+  /// accessors below).
+  size_t numGraphNodes() const { return SuccDone.size(); }
+
+  /// Processed-prefix counters per node: the number of *processed*
+  /// arena edges with source (resp. destination) \p Node. At every
+  /// resumable boundary these must equal a recount over
+  /// forEachDerivedEdge's processed edges — the certifier cross-checks
+  /// them, because the exactly-once join accounting is built on them
+  /// (a corrupt counter silently skips or duplicates 2-path joins).
+  uint32_t processedOut(ExprId Node) const { return SuccDone[Node]; }
+  uint32_t processedIn(ExprId Node) const { return PredDone[Node]; }
+
   /// @}
 
   /// Constructor-mismatch edges discovered (manifest inconsistencies).
@@ -505,6 +519,11 @@ public:
   std::string toDot(std::string_view Title = "constraints") const;
 
 private:
+  /// Test-only backdoor (tests/certifier_mutation_test.cpp): mutates
+  /// solved states into corrupt ones to prove the certifier rejects
+  /// them. Never referenced by product code.
+  friend struct SolverTestAccess;
+
   struct Edge {
     ExprId Src;
     ExprId Dst;
@@ -554,6 +573,8 @@ private:
     // two counters.
     if (!EdgeSeen.insert(Src, Dst, Ann)) {
       ++Stats.EdgesDropped;
+      if (trace::enabled())
+        trace::instant("solver.edge.dup", Src, Dst);
       return;
     }
     insertFreshEdge(Src, Dst, Ann);
@@ -628,6 +649,12 @@ private:
   /// failure path: on any Diag the solver must be reusable from
   /// scratch).
   void resetToFresh();
+
+  /// Records this solve() call's deltas into the global
+  /// MetricsRegistry (core/Observe.h). Only called when
+  /// observe::metricsEnabled(); writes instruments, never reads them,
+  /// so enabling metrics cannot perturb the fixpoint or SolverStats.
+  void recordSolveMetrics(const SolverStats &Before) const;
 
   const ConstraintSystem &CS;
   SolverOptions Options;
@@ -719,6 +746,11 @@ private:
   // lastCheckpointDiag(), never an interrupt).
   uint64_t PopsSinceCheckpoint = 0;
   std::optional<Diag> LastCheckpointDiag;
+
+  // Last progress line emitted (observe::setProgressEverySeconds);
+  // epoch-zero until the first governance check arms it. Ephemeral
+  // reporting state — deliberately not serialized by Snapshot.cpp.
+  std::chrono::steady_clock::time_point LastProgress{};
 };
 
 /// Exit codes rasctool reports for snapshot/certification failures,

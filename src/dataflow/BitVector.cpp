@@ -6,6 +6,8 @@
 
 #include "dataflow/BitVector.h"
 
+#include "support/Trace.h"
+
 #include <deque>
 
 using namespace rasc;
@@ -22,6 +24,7 @@ AnnotatedBitVectorAnalysis::AnnotatedBitVectorAnalysis(
 }
 
 void AnnotatedBitVectorAnalysis::prepare(SolverOptions Opts) {
+  RASC_TRACE_SCOPE("dataflow.prepare");
   if (Generated) {
     if (!Solver)
       Solver = std::make_unique<BidirectionalSolver>(*CS, Opts);
@@ -57,6 +60,7 @@ void AnnotatedBitVectorAnalysis::prepare(SolverOptions Opts) {
 }
 
 void AnnotatedBitVectorAnalysis::finalize() {
+  RASC_TRACE_SCOPE("dataflow.finalize");
   assert(Solver && "finalize() requires prepare()");
   const Program &Prog = Problem.program();
   AtomReachability AR = Solver->atomReachability(Pc);
@@ -66,6 +70,7 @@ void AnnotatedBitVectorAnalysis::finalize() {
 }
 
 void AnnotatedBitVectorAnalysis::solve() {
+  RASC_TRACE_SCOPE("dataflow.solve");
   prepare();
   Solver->solve();
   finalize();

@@ -7,6 +7,7 @@
 #include "flow/Analysis.h"
 
 #include "support/Hashing.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <deque>
@@ -466,6 +467,7 @@ ConsId FlowAnalysis::sourceConstant(FExprId From) {
 }
 
 void FlowAnalysis::prepare(SolverOptions Opts) {
+  RASC_TRACE_SCOPE("flow.prepare");
   if (!Solver)
     Solver = std::make_unique<BidirectionalSolver>(*CS, Opts);
 }
@@ -473,6 +475,7 @@ void FlowAnalysis::prepare(SolverOptions Opts) {
 void FlowAnalysis::ensureSolved() {
   prepare();
   if (!Solved) {
+    RASC_TRACE_SCOPE("flow.solve");
     Solver->solve();
     Solved = true;
   }

@@ -7,6 +7,7 @@
 #include "pdmc/Checker.h"
 
 #include "pds/Unidirectional.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -107,12 +108,14 @@ void RascChecker::generate() {
 }
 
 void RascChecker::prepare() {
+  RASC_TRACE_SCOPE("pdmc.prepare");
   generate();
   if (Strategy == SolveStrategy::Bidirectional && !Solver)
     Solver = std::make_unique<BidirectionalSolver>(*CS, SolverOpts);
 }
 
 std::vector<Violation> RascChecker::check() {
+  RASC_TRACE_SCOPE("pdmc.check");
   auto Start = std::chrono::steady_clock::now();
 
   prepare();
@@ -130,6 +133,7 @@ std::vector<Violation> RascChecker::check() {
 }
 
 std::vector<Violation> RascChecker::collectViolations() {
+  RASC_TRACE_SCOPE("pdmc.collect");
   assert(Solver && "collectViolations requires a prepared solver");
   const Dfa &M = Spec.machine();
   EdgeLimit = BidirectionalSolver::isInterrupted(Solver->status());

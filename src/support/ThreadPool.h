@@ -20,6 +20,8 @@
 #ifndef RASC_SUPPORT_THREADPOOL_H
 #define RASC_SUPPORT_THREADPOOL_H
 
+#include "support/Trace.h"
+
 #include <atomic>
 #include <cassert>
 #include <chrono>
@@ -136,6 +138,9 @@ private:
     } else {
       Out = std::move(Q.Jobs.front());
       Q.Jobs.pop_front();
+      // A successful non-owner pop IS the steal; args: victim queue.
+      if (trace::enabled())
+        trace::instant("pool.steal", W);
     }
     return true;
   }

@@ -1,0 +1,277 @@
+//===- support/Trace.cpp - Structured event tracing -----------------------===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rasc {
+namespace trace {
+
+std::atomic<bool> detail::Enabled{false};
+
+namespace {
+
+/// One single-writer ring. The owning thread stores events and
+/// advances Head with a release store; readers load Head with acquire
+/// and see fully written slots for every index below it. Readers only
+/// run when the owner is quiescent (see header contract), so slots in
+/// [Head - Cap, Head) are stable while being copied.
+struct Ring {
+  explicit Ring(size_t Cap, uint64_t Tid)
+      : Slots(Cap), Mask(Cap - 1), Tid(Tid) {}
+
+  void push(const Event &E) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    Slots[H & Mask] = E;
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  std::vector<Event> Slots;
+  const uint64_t Mask;
+  const uint64_t Tid;
+  std::atomic<uint64_t> Head{0};
+};
+
+struct Registry {
+  std::mutex M;
+  std::vector<std::shared_ptr<Ring>> Rings;
+  size_t Capacity = size_t{1} << 15;
+  uint64_t NextTid = 1;
+};
+
+Registry &registry() {
+  static Registry *R = new Registry(); // leaked: rings must outlive
+                                       // late-exiting threads
+  return *R;
+}
+
+std::chrono::steady_clock::time_point &epoch() {
+  static std::chrono::steady_clock::time_point E =
+      std::chrono::steady_clock::now();
+  return E;
+}
+
+size_t roundUpPow2(size_t V) {
+  size_t P = 1;
+  while (P < V && P < (size_t{1} << 30))
+    P <<= 1;
+  return P;
+}
+
+/// The calling thread's ring; registered on first use. The
+/// thread_local holds a shared_ptr so the registry's copy keeps the
+/// ring (and its recorded events) alive after the thread exits.
+Ring &myRing() {
+  thread_local std::shared_ptr<Ring> R = [] {
+    Registry &G = registry();
+    std::lock_guard<std::mutex> L(G.M);
+    auto P = std::make_shared<Ring>(G.Capacity, G.NextTid++);
+    G.Rings.push_back(P);
+    return P;
+  }();
+  return *R;
+}
+
+void appendJsonEscaped(std::string &Out, const char *S) {
+  for (; *S; ++S) {
+    char C = *S;
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+}
+
+void appendMicros(std::string &Out, uint64_t Ns) {
+  // ts/dur in microseconds with nanosecond precision kept as the
+  // fractional part (Chrome accepts fractional timestamps).
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu.%03u",
+                static_cast<unsigned long long>(Ns / 1000),
+                static_cast<unsigned>(Ns % 1000));
+  Out += Buf;
+}
+
+struct Tagged {
+  Event E;
+  uint64_t Tid;
+};
+
+std::vector<Tagged> collect() {
+  Registry &G = registry();
+  std::lock_guard<std::mutex> L(G.M);
+  std::vector<Tagged> All;
+  for (const auto &R : G.Rings) {
+    uint64_t H = R->Head.load(std::memory_order_acquire);
+    uint64_t Cap = R->Mask + 1;
+    uint64_t N = std::min(H, Cap);
+    All.reserve(All.size() + N);
+    for (uint64_t I = H - N; I != H; ++I)
+      All.push_back({R->Slots[I & R->Mask], R->Tid});
+  }
+  std::stable_sort(All.begin(), All.end(),
+                   [](const Tagged &A, const Tagged &B) {
+                     return A.E.StartNs < B.E.StartNs;
+                   });
+  return All;
+}
+
+} // namespace
+
+void setEnabled(bool On) {
+  if (On)
+    epoch(); // stamp the epoch before any event can be recorded
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+void setRingCapacity(size_t Events) {
+  Registry &G = registry();
+  std::lock_guard<std::mutex> L(G.M);
+  G.Capacity = roundUpPow2(std::max<size_t>(Events, 16));
+}
+
+size_t ringCapacity() {
+  Registry &G = registry();
+  std::lock_guard<std::mutex> L(G.M);
+  return G.Capacity;
+}
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch())
+          .count());
+}
+
+void instant(const char *Name, uint64_t A, uint64_t B) {
+  if (!enabled())
+    return;
+  myRing().push({Name, nowNs(), 0, A, B, 'i'});
+}
+
+void complete(const char *Name, uint64_t StartNs, uint64_t DurNs, uint64_t A,
+              uint64_t B) {
+  if (!enabled())
+    return;
+  myRing().push({Name, StartNs, DurNs, A, B, 'X'});
+}
+
+void counter(const char *Name, uint64_t A, uint64_t B) {
+  if (!enabled())
+    return;
+  myRing().push({Name, nowNs(), 0, A, B, 'C'});
+}
+
+uint64_t eventCount() {
+  Registry &G = registry();
+  std::lock_guard<std::mutex> L(G.M);
+  uint64_t N = 0;
+  for (const auto &R : G.Rings)
+    N += std::min(R->Head.load(std::memory_order_acquire), R->Mask + 1);
+  return N;
+}
+
+uint64_t droppedCount() {
+  Registry &G = registry();
+  std::lock_guard<std::mutex> L(G.M);
+  uint64_t N = 0;
+  for (const auto &R : G.Rings) {
+    uint64_t H = R->Head.load(std::memory_order_acquire);
+    uint64_t Cap = R->Mask + 1;
+    if (H > Cap)
+      N += H - Cap;
+  }
+  return N;
+}
+
+void clear() {
+  Registry &G = registry();
+  std::lock_guard<std::mutex> L(G.M);
+  for (const auto &R : G.Rings)
+    R->Head.store(0, std::memory_order_release);
+}
+
+std::string exportChromeJson() {
+  std::vector<Tagged> All = collect();
+  uint64_t Dropped = droppedCount();
+  std::string Out;
+  Out.reserve(All.size() * 96 + 256);
+  Out += "{\"traceEvents\":[";
+  bool First = true;
+  for (const Tagged &T : All) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":\"";
+    appendJsonEscaped(Out, T.E.Name);
+    Out += "\",\"ph\":\"";
+    Out += T.E.Ph;
+    Out += "\",\"ts\":";
+    appendMicros(Out, T.E.StartNs);
+    if (T.E.Ph == 'X') {
+      Out += ",\"dur\":";
+      appendMicros(Out, T.E.DurNs);
+    }
+    Out += ",\"pid\":1,\"tid\":";
+    Out += std::to_string(T.Tid);
+    if (T.E.Ph == 'i')
+      Out += ",\"s\":\"t\"";
+    if (T.E.Ph == 'C') {
+      Out += ",\"args\":{\"a\":";
+      Out += std::to_string(T.E.A);
+      if (T.E.B) {
+        Out += ",\"b\":";
+        Out += std::to_string(T.E.B);
+      }
+      Out += '}';
+    } else {
+      Out += ",\"args\":{\"a\":";
+      Out += std::to_string(T.E.A);
+      Out += ",\"b\":";
+      Out += std::to_string(T.E.B);
+      Out += '}';
+    }
+    Out += '}';
+  }
+  Out += "],\"displayTimeUnit\":\"ns\",\"otherData\":{\"droppedEvents\":\"";
+  Out += std::to_string(Dropped);
+  Out += "\"}}";
+  return Out;
+}
+
+bool writeChromeJson(const std::string &Path, std::string *Err) {
+  std::string Json = exportChromeJson();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  size_t W = std::fwrite(Json.data(), 1, Json.size(), F);
+  bool Ok = W == Json.size() && std::fclose(F) == 0;
+  if (!Ok) {
+    if (Err)
+      *Err = "short write to '" + Path + "'";
+    if (W != Json.size())
+      std::fclose(F);
+  }
+  return Ok;
+}
+
+} // namespace trace
+} // namespace rasc

@@ -24,6 +24,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace rasc {
@@ -139,6 +140,36 @@ inline RandomSystem randomSystem(Rng &R) {
   RandomSystem Sys = randomSkeleton(R);
   addRandomConstraints(Sys, R, 4 + R.below(10));
   return Sys;
+}
+
+/// Renders one differential-test iteration's identity — seed, dedup
+/// backend, thread count, plus any extra context — for gtest failure
+/// output. The randomized tests loop hundreds of (seed, backend,
+/// threads) combinations inside one TEST body; a bare assertion
+/// failure there is unreproducible without this string. Use via
+/// SCOPED_TRACE(seedContext(...)).
+inline std::string seedContext(uint64_t Seed,
+                               SolverOptions::DedupBackend Backend,
+                               unsigned Threads = 1,
+                               std::string_view Extra = {}) {
+  std::string S = "seed " + std::to_string(Seed) + ", dedup ";
+  switch (Backend) {
+  case SolverOptions::DedupBackend::Auto:
+    S += "auto";
+    break;
+  case SolverOptions::DedupBackend::Bitset:
+    S += "bitset";
+    break;
+  case SolverOptions::DedupBackend::FlatSet:
+    S += "flatset";
+    break;
+  }
+  S += ", threads " + std::to_string(Threads);
+  if (!Extra.empty()) {
+    S += ", ";
+    S += Extra;
+  }
+  return S;
 }
 
 } // namespace testgen

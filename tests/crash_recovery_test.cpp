@@ -231,11 +231,8 @@ TEST_P(CrashRecovery, RandomSystems) {
 
     unsigned Interrupted = 0;
     for (Kind K : AllKinds) {
-      std::string Ctx =
-          std::string("backend ") +
-          (Backend == SolverOptions::DedupBackend::Bitset ? "bitset"
-                                                          : "flatset") +
-          ", kind " + kindName(K) + ", seed " + std::to_string(Seed);
+      std::string Ctx = testgen::seedContext(
+          Seed, Backend, 1, std::string("kind ") + kindName(K));
       Interrupted +=
           checkCrashRecover(Seed, Backend, K, Expect, ExpectWork, Ctx);
     }

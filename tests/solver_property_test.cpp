@@ -107,6 +107,7 @@ TEST_P(SolverDifferential, DedupBackendsMatchReference) {
   for (SolverOptions::DedupBackend Backend :
        {SolverOptions::DedupBackend::Bitset,
         SolverOptions::DedupBackend::FlatSet}) {
+    SCOPED_TRACE(testgen::seedContext(GetParam(), Backend));
     SolverOptions Opts;
     Opts.FilterUseless = false;
     Opts.CycleElimination = false;
@@ -114,18 +115,13 @@ TEST_P(SolverDifferential, DedupBackendsMatchReference) {
     BidirectionalSolver Fast(*Sys.CS, Opts);
     BidirectionalSolver::Status St = Fast.solve();
     ASSERT_NE(St, BidirectionalSolver::Status::EdgeLimit);
-    EXPECT_EQ(RefConsistent, St == BidirectionalSolver::Status::Solved)
-        << "seed " << GetParam();
+    EXPECT_EQ(RefConsistent, St == BidirectionalSolver::Status::Solved);
 
     for (ConsId K : Sys.Constants)
       for (VarId V : Sys.Vars) {
         std::vector<AnnId> A = Fast.constantAnnotations(K, V);
         std::sort(A.begin(), A.end());
-        EXPECT_EQ(A, Ref.constantAnnotations(K, V))
-            << "backend "
-            << (Backend == SolverOptions::DedupBackend::Bitset ? "bitset"
-                                                               : "flatset")
-            << ", seed " << GetParam();
+        EXPECT_EQ(A, Ref.constantAnnotations(K, V));
       }
   }
 }
