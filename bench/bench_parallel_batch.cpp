@@ -14,13 +14,21 @@
 ///     path, so the /1 rows double as a regression check against
 ///     BM_SolveDag itself.
 ///
+///   * BM_SolveDagSharded — the same workload through the sharded
+///     merge (owner-partitioned dedup, per-(producer,shard)
+///     mailboxes), sweeping MergeShards at a fixed thread count, plus
+///     a RelaxedParallelStats row (skips the exact-stats sequential
+///     limits sweep; fixpoint identical, see DESIGN.md §8).
+///
 ///   * BM_BatchSolve — batch throughput of the SolvePool on the
 ///     Section 5 workload (random DAG over the adversarial machine):
 ///     K independent systems solved per iteration through one
 ///     BatchSolver, for pool widths {1, 2, 4, 8}.
 ///
 /// Speedups above 1 thread require physical cores; on a single-core
-/// host both sweeps are expected flat (see EXPERIMENTS.md).
+/// host the sweeps are expected flat — bench/run_bench.sh stamps
+/// hardware_threads into each entry and warns loudly when the host
+/// has fewer cores than the widest configuration (see EXPERIMENTS.md).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -85,6 +93,39 @@ BENCHMARK(BM_SolveDagParallel)
     ->Args({800, 2})
     ->Args({800, 4})
     ->Args({800, 8});
+
+/// Sharded merge on the 800-var DAG: MergeShards swept at Threads = 4
+/// (range(1) = shards, range(2) = relaxed stats). The /4/0/1 row is
+/// the relaxed mode at the default shard count.
+void BM_SolveDagSharded(benchmark::State &State) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  unsigned Shards = static_cast<unsigned>(State.range(1));
+  bool Relaxed = State.range(2) != 0;
+  MonoidDomain Dom(buildOneBitMachine());
+  ConstraintSystem CS(Dom);
+  buildDag(CS, Dom, 800, 42);
+  SolverOptions O;
+  O.Threads = Threads;
+  O.MergeShards = Shards;
+  O.RelaxedParallelStats = Relaxed;
+  double Edges = 0, Rounds = 0;
+  for (auto _ : State) {
+    BidirectionalSolver S(CS, O);
+    benchmark::DoNotOptimize(S.solve());
+    Edges = static_cast<double>(S.stats().EdgesInserted);
+    Rounds = static_cast<double>(S.stats().ParallelRounds);
+  }
+  State.counters["edges"] = Edges;
+  State.counters["rounds"] = Rounds;
+  State.counters["edges_per_s"] = benchmark::Counter(
+      Edges * static_cast<double>(State.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SolveDagSharded)
+    ->Args({4, 1, 0})
+    ->Args({4, 4, 0})
+    ->Args({4, 8, 0})
+    ->Args({4, 0, 1}); // relaxed stats, shards = Threads
 
 /// One Section 5 style system: random DAG over the adversarial
 /// machine, so per-edge annotation diversity is real closure work.

@@ -62,6 +62,7 @@ entry = {
     "label": label,
     "benchmark": "bench_sec4_core_scaling:BM_SolveDag",
     "rounds": rounds,
+    "hardware_threads": os.cpu_count(),
     "sizes": {
         str(size): {
             "min_ms": round(min(rec["ms"]), 3),
@@ -100,6 +101,23 @@ EOF
 PAR_BIN="${BENCH_PARALLEL_BIN:-$REPO_ROOT/build/bench/bench_parallel_batch}"
 PAR_ROUNDS="${BENCH_PARALLEL_ROUNDS:-9}"
 
+# The widest configuration the parallel sweeps reach (Threads / pool
+# width 8). Speedup claims from a host with fewer hardware threads
+# than that are meaningless — warn loudly and stamp the entry so a
+# reader of BENCH_solver.json can tell honest flat numbers from a
+# regression.
+MAX_SWEPT_THREADS=8
+HW_THREADS="$(nproc 2>/dev/null || echo 1)"
+if [ "$HW_THREADS" -lt "$MAX_SWEPT_THREADS" ]; then
+  echo "==========================================================" >&2
+  echo "WARNING: this host has $HW_THREADS hardware thread(s) but the" >&2
+  echo "parallel sweep goes up to Threads=$MAX_SWEPT_THREADS. Thread-scaling" >&2
+  echo "numbers recorded below measure overhead, NOT speedup." >&2
+  echo "Re-record the 'parallel' entry on a machine with >=$MAX_SWEPT_THREADS" >&2
+  echo "cores before quoting multi-core results (EXPERIMENTS.md)." >&2
+  echo "==========================================================" >&2
+fi
+
 if [ -x "$PAR_BIN" ]; then
   for R in $(seq 1 "$PAR_ROUNDS"); do
     "$PAR_BIN" --benchmark_min_time="$MIN_TIME" \
@@ -123,6 +141,7 @@ for r in range(1, rounds + 1):
             if k in b:
                 rec["counters"][k] = round(float(b[k]), 3)
 
+MAX_SWEPT_THREADS = 8
 entry = {
     "label": label,
     "benchmark": "parallel",
@@ -137,6 +156,11 @@ entry = {
         for name, rec in sorted(per_cfg.items())
     },
 }
+if (os.cpu_count() or 1) < MAX_SWEPT_THREADS:
+    entry["note"] = (
+        f"host has {os.cpu_count()} hardware thread(s) < max swept "
+        f"Threads={MAX_SWEPT_THREADS}; these numbers measure parallel-mode "
+        "overhead, not speedup -- re-record on multi-core hardware")
 
 doc = {"runs": []}
 if os.path.exists(out_path):
@@ -210,6 +234,7 @@ entry = {
     "label": label,
     "benchmark": "observability",
     "rounds": rounds,
+    "hardware_threads": os.cpu_count(),
     "configs": configs,
 }
 

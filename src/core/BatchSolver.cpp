@@ -43,12 +43,11 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
     return Results;
   }
 
-  // Per-task cancel flags at stable addresses: the supervisor below
-  // fans the external flag (and cancelAll) out to these, and each
-  // solver polls its own at the governance cadence.
-  std::vector<std::unique_ptr<std::atomic<bool>>> TaskCancel(N);
-  for (auto &F : TaskCancel)
-    F = std::make_unique<std::atomic<bool>>(false);
+  // Per-task cancel flags in one contiguous allocation at stable
+  // addresses (the vector is sized once and never grows): the
+  // supervisor below fans the external flag (and cancelAll) out to
+  // these, and each solver polls its own at the governance cadence.
+  std::vector<std::atomic<bool>> TaskCancel(N);
 
   // Register the flags so cancelAll() can reach the running tasks
   // directly while this thread blocks on the pool below.
@@ -56,7 +55,7 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
     std::lock_guard<std::mutex> L(FanMx);
     LiveTaskFlags.clear();
     for (auto &F : TaskCancel)
-      LiveTaskFlags.push_back(F.get());
+      LiveTaskFlags.push_back(&F);
   }
 
   // Save every task's options; the batch governance is an overlay for
@@ -72,52 +71,68 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
            std::chrono::duration<double>(Clock::now() - Start).count();
   };
 
-  for (size_t I = 0; I != N; ++I) {
+  auto runTask = [&](size_t I) {
+    RASC_TRACE_SCOPE("batch.task", I);
+    if (trace::enabled())
+      trace::instant("batch.task.start", I);
     BidirectionalSolver *S = Solvers[I];
-    std::atomic<bool> *Flag = TaskCancel[I].get();
     Result *R = &Results[I];
-    Pool->run([this, S, Flag, R, I, &remaining] {
-      RASC_TRACE_SCOPE("batch.task", I);
-      if (trace::enabled())
-        trace::instant("batch.task.start", I);
-      SolverOptions &O = S->options();
-      O.CancelFlag = Flag;
-      if (Opts.MaxTotalMemoryBytes) {
-        O.GroupMemory = &GroupMemory;
-        O.MaxGroupMemoryBytes = Opts.MaxTotalMemoryBytes;
+    SolverOptions &O = S->options();
+    O.CancelFlag = &TaskCancel[I];
+    if (Opts.MaxTotalMemoryBytes) {
+      O.GroupMemory = &GroupMemory;
+      O.MaxGroupMemoryBytes = Opts.MaxTotalMemoryBytes;
+    }
+    if (!Opts.CheckpointDir.empty()) {
+      // Per-task durability: restore a previous run's snapshot if
+      // this task hasn't started yet (a rejected snapshot means
+      // re-solving from scratch — restore() left the solver fresh),
+      // then point the solver's own checkpointing at the same file.
+      O.CheckpointPath =
+          Opts.CheckpointDir + "/task-" + std::to_string(I) + ".rsnap";
+      O.CheckpointEveryPops = Opts.CheckpointEveryPops;
+      if (S->unstarted())
+        (void)S->restore(O.CheckpointPath);
+    }
+    if (Opts.DeadlineSeconds > 0) {
+      // The batch deadline is shared: a task starting late gets
+      // only the time left; one already past it is returned
+      // unsolved (still resumable by a later solveAll).
+      double Left = remaining();
+      if (Left <= 0) {
+        R->St = BidirectionalSolver::Status::Deadline;
+        return;
       }
-      if (!Opts.CheckpointDir.empty()) {
-        // Per-task durability: restore a previous run's snapshot if
-        // this task hasn't started yet (a rejected snapshot means
-        // re-solving from scratch — restore() left the solver fresh),
-        // then point the solver's own checkpointing at the same file.
-        O.CheckpointPath =
-            Opts.CheckpointDir + "/task-" + std::to_string(I) + ".rsnap";
-        O.CheckpointEveryPops = Opts.CheckpointEveryPops;
-        if (S->unstarted())
-          (void)S->restore(O.CheckpointPath);
-      }
-      if (Opts.DeadlineSeconds > 0) {
-        // The batch deadline is shared: a task starting late gets
-        // only the time left; one already past it is returned
-        // unsolved (still resumable by a later solveAll).
-        double Left = remaining();
-        if (Left <= 0) {
-          R->St = BidirectionalSolver::Status::Deadline;
-          return;
-        }
-        O.DeadlineSeconds = O.DeadlineSeconds > 0
-                                ? std::min(O.DeadlineSeconds, Left)
-                                : Left;
-      }
-      auto T0 = Clock::now();
-      R->St = S->solve();
-      R->Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
-      if (trace::enabled())
-        trace::instant("batch.task.finish", I,
-                       static_cast<uint64_t>(statusExitCode(R->St)));
+      O.DeadlineSeconds = O.DeadlineSeconds > 0
+                              ? std::min(O.DeadlineSeconds, Left)
+                              : Left;
+    }
+    auto T0 = Clock::now();
+    R->St = S->solve();
+    R->Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+    if (trace::enabled())
+      trace::instant("batch.task.finish", I,
+                     static_cast<uint64_t>(statusExitCode(R->St)));
+  };
+
+  // Claimer model: min(threads, N) pool jobs race a shared task
+  // cursor, instead of one enqueued job per task. A pool wider than
+  // the task count (or the core count) then costs almost nothing —
+  // the first workers to wake drain the cursor while the rest claim
+  // an exhausted index and exit, where per-task jobs forced every
+  // queued task through a separate worker wakeup (two mutexes, a
+  // notify, and on an oversubscribed machine a context switch each).
+  // This is what keeps batch throughput flat in pool size on one
+  // core (see BM_BatchSolve in bench/bench_parallel_batch.cpp).
+  std::atomic<size_t> NextTask{0};
+  const size_t Claimers = std::min<size_t>(numThreads(), N);
+  for (size_t C = 0; C != Claimers; ++C)
+    Pool->run([&runTask, &NextTask, N] {
+      for (size_t I = NextTask.fetch_add(1, std::memory_order_relaxed);
+           I < N;
+           I = NextTask.fetch_add(1, std::memory_order_relaxed))
+        runTask(I);
     });
-  }
 
   // Drain the pool. cancelAll() reaches the tasks directly through
   // the registered flags, so without an external flag this blocks on
@@ -135,7 +150,7 @@ BatchSolver::solveAll(std::span<BidirectionalSolver *const> Solvers) {
       }
       if (Opts.CancelFlag->load(std::memory_order_relaxed)) {
         for (auto &F : TaskCancel)
-          F->store(true, std::memory_order_relaxed);
+          F.store(true, std::memory_order_relaxed);
         FannedOut = true;
       }
     }

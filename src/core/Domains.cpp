@@ -6,6 +6,8 @@
 
 #include "core/Domains.h"
 
+#include "support/ComposeKernel.h"
+
 #include <sstream>
 
 using namespace rasc;
@@ -46,12 +48,13 @@ AnnId GenKillDomain::compose(AnnId F, AnnId G) const {
   auto It = ComposeMemo.find(Key);
   if (It != ComposeMemo.end())
     return It->second;
-  // G first, then F: X |-> apply_F(apply_G(X)).
+  // G first, then F: X |-> apply_F(apply_G(X)). The mask algebra
+  // lives in support/ComposeKernel.h so the batch (vectorizable) form
+  // and this interning path share one definition.
   auto [GenF, KillF] = Elems[F];
   auto [GenG, KillG] = Elems[G];
-  uint64_t Gen = GenF | (GenG & ~KillF);
-  uint64_t Kill = KillF | (KillG & ~GenF);
-  AnnId R = makeElem(Gen, Kill & ~Gen);
+  kernel::GenKillMasks C = kernel::genKillCompose(GenF, KillF, GenG, KillG);
+  AnnId R = makeElem(C.Gen, C.Kill);
   ComposeMemo.emplace(Key, R);
   return R;
 }

@@ -551,7 +551,12 @@ std::optional<Diag> BidirectionalSolver::restore(const std::string &Path) {
   uint64_t NumDedup = DdS->u64();
   if (DdS->bad())
     return rejected(Path, "truncated DEDU section");
-  EdgeDedup LocalDedup(resolveDedupBackend(Options, D), D.size());
+  // The on-disk dedup section is representation-independent (src,
+  // dst, ann) triples, so the replay target is striped with *this*
+  // solver's shard count — a snapshot taken by a sequential solver
+  // restores into a sharded-parallel one and vice versa.
+  ShardedEdgeDedup LocalDedup(resolveDedupBackend(Options, D), D.size(),
+                              EdgeSeen.numShards());
   bool DedupFresh = true;
   if (std::optional<Diag> Dg = readTriples(
           *DdS, NumDedup,

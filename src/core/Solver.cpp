@@ -7,6 +7,7 @@
 #include "core/Solver.h"
 
 #include "core/Observe.h"
+#include "support/ComposeKernel.h"
 #include "support/FailPoint.h"
 #include "support/FlatSet.h"
 #include "support/ThreadPool.h"
@@ -37,6 +38,19 @@ BidirectionalSolver::resolveDedupBackend(const SolverOptions &Opts,
   }
   return D.size() <= Opts.AnnBitsetThreshold ? EdgeDedup::Backend::Bitset
                                              : EdgeDedup::Backend::Flat;
+}
+
+/// Resolves SolverOptions::MergeShards at construction: 0 follows the
+/// thread count (hardware threads when that is 0 too), so the default
+/// sequential solver gets exactly one segment — the plain EdgeDedup
+/// fast path — and a parallel solver gets one shard per worker. The
+/// ceiling only bounds scratch for absurd explicit values; it is far
+/// above any thread count that pays off.
+unsigned BidirectionalSolver::resolveMergeShards(const SolverOptions &Opts) {
+  unsigned P = Opts.MergeShards;
+  if (P == 0)
+    P = Opts.Threads ? Opts.Threads : ThreadPool::hardwareThreads();
+  return std::min(P, 256u);
 }
 
 namespace {
@@ -76,7 +90,8 @@ std::vector<ConsId> AtomReachability::witnessStack(VarId V,
 BidirectionalSolver::BidirectionalSolver(const ConstraintSystem &CS,
                                          SolverOptions Opts)
     : CS(CS), Options(Opts),
-      EdgeSeen(resolveDedupBackend(Opts, CS.domain()), CS.domain().size()),
+      EdgeSeen(resolveDedupBackend(Opts, CS.domain()), CS.domain().size(),
+               resolveMergeShards(Opts)),
       FnVarSeen(resolveDedupBackend(Opts, CS.domain()), CS.domain().size()) {}
 
 BidirectionalSolver::~BidirectionalSolver() = default;
@@ -599,7 +614,7 @@ BidirectionalSolver::Status BidirectionalSolver::runClosureParallel(
   return Status::Solved;
 }
 
-/// One bulk-synchronous round over the frontier, in three phases.
+/// One bulk-synchronous round over the frontier, in four phases.
 ///
 /// Phase 1 (sequential limits sweep) replays exactly the counter
 /// evolution the sequential loop would produce: frontier edge j
@@ -609,32 +624,63 @@ BidirectionalSolver::Status BidirectionalSolver::runClosureParallel(
 /// edge (pre-round and frontier positions < j) and nothing later.
 /// Each 2-path is therefore joined by exactly the later of its two
 /// edges, once, just as in process(); the join *sets* of the two
-/// modes coincide, so by confluence so do the fixpoints.
+/// modes coincide, so by confluence so do the fixpoints — and so do
+/// the stats totals (see phase 4). Options.RelaxedParallelStats
+/// skips the snapshots entirely: workers scan the full current
+/// adjacency degrees, which are stable during the read-only compute
+/// phase because every arena edge was appended to both lists at
+/// insertion. The relaxed scans are a *superset* of the exact join
+/// schedule — every adjacent pair is joined by at least its later
+/// edge, possibly by both — so the fixpoint is unchanged while
+/// ComposeCalls/EdgesDropped may exceed the sequential totals. The
+/// processed-prefix counters still advance exactly once per frontier
+/// edge in either mode: the certifier's recount and a sequential
+/// resume depend on their exactness, not on which schedule performed
+/// the joins.
 ///
 /// Phase 2 (parallel compute) partitions the frontier across workers.
 /// Workers are strictly read-only — frontier slice of the arena,
-/// NodeKind, adjacency prefixes within the snapshotted limits (all
+/// NodeKind, adjacency prefixes within their scan limits (all
 /// appended before the round), dense composition rows, and read-only
-/// dedup probes — and write only their partition's RoundBuf, so the
-/// phase is race-free without any locking. Work that must mutate
-/// shared state is left for phase 3: constructor decompositions and
-/// watcher projections intern var nodes, and a scan whose annotation
-/// has no dense row would go through the domain's mutating compose().
-/// Row availability is a pure function of the domain (fixed at monoid
-/// construction), so the merge re-detects those edges with the same
-/// null-row test instead of any cross-thread handoff.
+/// dedup probes — and write only their own RoundBuf, so the phase is
+/// race-free without any locking. A worker routes each surviving
+/// (not-yet-seen) edge into the mailbox of the dedup shard owning its
+/// destination: one single-producer/single-consumer buffer per
+/// (producer, shard) pair, handed off by the pool barrier. Work that
+/// must mutate shared state is left for the epilogue: constructor
+/// decompositions and watcher projections intern var nodes, and a
+/// scan whose annotation has no dense row would go through the
+/// domain's mutating compose(). Row availability is a pure function
+/// of the domain (fixed at monoid construction), so the epilogue
+/// re-detects those edges with the same null-row test instead of any
+/// cross-thread handoff.
 ///
-/// Phase 3 (sequential merge) performs the deferred decompositions,
-/// projections, and row-less scans, then drains the worker buffers
-/// through addEdge — the single writer of the dedup tables, arena,
-/// and adjacency — and folds the workers' private counters into
-/// Stats. Stats totals match the sequential run at any fixpoint:
-/// joins are in bijection, and a duplicate attempt counts once
-/// whether a worker pre-filtered it or the merge's probe caught it.
+/// Phase 3 (parallel owner merge) runs one owner per dedup shard:
+/// owner S drains every producer's mailbox for S in producer order
+/// and performs the *authoritative* test-and-set against its own
+/// dedup segment. Destinations are partitioned by shard, so no two
+/// owners touch the same segment, and each owner writes only its own
+/// ShardScratch — fresh edges in drain order, plus a private drop
+/// counter for the within-round duplicates the pre-filter could not
+/// see. This moves the round's dominant sequential cost, the dedup
+/// insertion probes, onto all cores.
+///
+/// Phase 4 (sequential epilogue) performs the deferred
+/// decompositions, projections, and row-less scans through addEdge —
+/// still the single writer for those — then appends the shards'
+/// fresh lists (shard-major: a fixed, deterministic order) through
+/// insertFreshEdge: useless filter, conflict check, arena and
+/// adjacency appends, all sequential. Exact-mode stats still match
+/// the sequential run at any fixpoint: joins are in bijection with
+/// the final edge set's adjacent pairs and insertions with its
+/// unique derived triples, so the attempt multiset is
+/// schedule-independent; reordering only shifts which attempt is the
+/// first claim, and the totals are blind to that.
 void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
   ++Stats.ParallelRounds;
   RASC_TRACE_SCOPE("solver.round", Frontier, Threads);
-  if (observe::metricsEnabled())
+  const bool Metrics = observe::metricsEnabled();
+  if (Metrics)
     MetricsRegistry::global()
         .histogram("solver.frontier_width")
         .record(Frontier);
@@ -642,16 +688,28 @@ void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
   constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
   constexpr uint8_t KVar = static_cast<uint8_t>(ExprKind::Var);
   const size_t Base = PendingHead;
+  const bool Relaxed = Options.RelaxedParallelStats;
+  const unsigned NumShards = EdgeSeen.numShards();
 
-  // Phase 1: limits sweep.
-  RoundSuccLimit.resize(Frontier);
-  RoundPredLimit.resize(Frontier);
-  for (size_t J = 0; J != Frontier; ++J) {
-    const Edge &E = EdgeArena[Base + J];
-    RoundSuccLimit[J] = SuccDone[E.Dst];
-    RoundPredLimit[J] = PredDone[E.Src];
-    ++SuccDone[E.Src];
-    ++PredDone[E.Dst];
+  // Phase 1: limits sweep — or, relaxed, just the exact bulk advance
+  // of the processed-prefix counters (resumability and certification
+  // need the counters; the relaxed scans don't need the snapshots).
+  if (!Relaxed) {
+    RoundSuccLimit.resize(Frontier);
+    RoundPredLimit.resize(Frontier);
+    for (size_t J = 0; J != Frontier; ++J) {
+      const Edge &E = EdgeArena[Base + J];
+      RoundSuccLimit[J] = SuccDone[E.Dst];
+      RoundPredLimit[J] = PredDone[E.Src];
+      ++SuccDone[E.Src];
+      ++PredDone[E.Dst];
+    }
+  } else {
+    for (size_t J = 0; J != Frontier; ++J) {
+      const Edge &E = EdgeArena[Base + J];
+      ++SuccDone[E.Src];
+      ++PredDone[E.Dst];
+    }
   }
 
   // Phase 2: compute.
@@ -660,15 +718,20 @@ void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
     RoundBufs.resize(NumParts);
   auto computePart = [&](size_t P) {
     RoundBuf &B = RoundBufs[P];
-    B.NewEdges.clear();
+    if (B.Mail.size() < NumShards)
+      B.Mail.resize(NumShards);
     B.ComposeCalls = 0;
     B.EdgesDropped = 0;
     auto emit = [&](ExprId S, ExprId T, AnnId A) {
       if (EdgeSeen.contains(S, T, A))
         ++B.EdgesDropped;
       else
-        B.NewEdges.push_back({S, T, A});
+        B.Mail[EdgeSeen.shardOf(T)].push_back({S, T, A});
     };
+    // Chunk-wide staging for the dense-row gather: the kernel runs
+    // the pure table lookups over the whole chunk before the branchy
+    // probe-and-buffer loop touches them.
+    AnnId Comp[AdjacencyLists::ChunkCap];
     const size_t Lo = Frontier * P / NumParts;
     const size_t Hi = Frontier * (P + 1) / NumParts;
     for (size_t J = Lo; J != Hi; ++J) {
@@ -676,46 +739,76 @@ void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
       uint8_t SrcKind = NodeKind[E.Src];
       uint8_t DstKind = NodeKind[E.Dst];
       if (SrcKind == KCons && DstKind == KCons)
-        continue; // decompose interns var nodes: merge phase
+        continue; // decompose interns var nodes: epilogue
       if (DstKind == KVar) {
         if (const AnnId *Row = D.composeRowRhs(E.Ann)) {
-          B.ComposeCalls += RoundSuccLimit[J];
+          const uint32_t Deg =
+              Relaxed ? Succs.degree(E.Dst) : RoundSuccLimit[J];
+          B.ComposeCalls += Deg;
           Succs.forEachChunks(
-              E.Dst, RoundSuccLimit[J],
+              E.Dst, Deg,
               [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+                kernel::composeMapRow(Row, Ch.Anns, Comp, N);
                 for (uint32_t I = 0; I != N; ++I)
-                  emit(E.Src, Ch.Peers[I], Row[Ch.Anns[I]]);
+                  emit(E.Src, Ch.Peers[I], Comp[I]);
               });
-          if (E.Src == E.Dst) {
+          // Exact mode joins a self-loop with itself explicitly:
+          // neither processing event sees the other inside a
+          // processed prefix. The relaxed full-degree scan already
+          // covered it — E is its own Succs[E.Dst] entry.
+          if (!Relaxed && E.Src == E.Dst) {
             ++B.ComposeCalls;
             emit(E.Src, E.Dst, Row[E.Ann]);
           }
         }
-        // Null row or watcher projections: merge phase.
+        // Null row or watcher projections: epilogue.
       }
       if (SrcKind == KVar) {
         if (const AnnId *Row = D.composeRowLhs(E.Ann)) {
-          B.ComposeCalls += RoundPredLimit[J];
+          const uint32_t Deg =
+              Relaxed ? Preds.degree(E.Src) : RoundPredLimit[J];
+          B.ComposeCalls += Deg;
           Preds.forEachChunks(
-              E.Src, RoundPredLimit[J],
+              E.Src, Deg,
               [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+                kernel::composeMapRow(Row, Ch.Anns, Comp, N);
                 for (uint32_t I = 0; I != N; ++I)
-                  emit(Ch.Peers[I], E.Dst, Row[Ch.Anns[I]]);
+                  emit(Ch.Peers[I], E.Dst, Comp[I]);
               });
         }
       }
     }
   };
-  if (NumParts == 1) {
-    computePart(0);
-  } else {
-    for (size_t P = 1; P != NumParts; ++P)
-      Pool->run([&computePart, P] { computePart(P); });
-    computePart(0);
-    Pool->waitIdle();
-  }
+  Pool->parallelFor(NumParts, computePart);
 
-  // Phase 3: merge.
+  // Phase 3: owner-partitioned merge.
+  if (Shards.size() < NumShards)
+    Shards.resize(NumShards);
+  auto mergeShard = [&](size_t S) {
+    const auto T0 = std::chrono::steady_clock::now();
+    ShardScratch &Sh = Shards[S];
+    Sh.Fresh.clear();
+    Sh.Dropped = 0;
+    Sh.MailEdges = 0;
+    for (size_t P = 0; P != NumParts; ++P) {
+      std::vector<Edge> &M = RoundBufs[P].Mail[S];
+      Sh.MailEdges += M.size();
+      for (const Edge &NE : M) {
+        if (EdgeSeen.insert(NE.Src, NE.Dst, NE.Ann))
+          Sh.Fresh.push_back(NE);
+        else
+          ++Sh.Dropped;
+      }
+      M.clear();
+    }
+    Sh.MergeNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+  };
+  Pool->parallelFor(NumShards, mergeShard);
+
+  // Phase 4: sequential epilogue.
   PendingHead = Base + Frontier;
   for (size_t J = 0; J != Frontier; ++J) {
     const Edge E = EdgeArena[Base + J]; // by value: addEdge appends
@@ -728,14 +821,19 @@ void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
     if (DstKind == KVar) {
       const AnnId *Row = D.composeRowRhs(E.Ann);
       if (!Row) {
-        Stats.ComposeCalls += RoundSuccLimit[J];
+        // Relaxed scans read the degree at epilogue time: a superset
+        // of the exact limit (append-safe; entries appended by this
+        // loop's own addEdges past the bound are pending edges that
+        // run their own scans later).
+        const uint32_t Lim =
+            Relaxed ? Succs.degree(E.Dst) : RoundSuccLimit[J];
+        Stats.ComposeCalls += Lim;
         Succs.forEachChunks(
-            E.Dst, RoundSuccLimit[J],
-            [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+            E.Dst, Lim, [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
               for (uint32_t I = 0; I != N; ++I)
                 addEdge(E.Src, Ch.Peers[I], D.compose(Ch.Anns[I], E.Ann));
             });
-        if (E.Src == E.Dst) {
+        if (!Relaxed && E.Src == E.Dst) {
           ++Stats.ComposeCalls;
           addEdge(E.Src, E.Dst, D.compose(E.Ann, E.Ann));
         }
@@ -757,23 +855,54 @@ void BidirectionalSolver::parallelRound(size_t Frontier, unsigned Threads) {
     }
     if (SrcKind == KVar) {
       if (!D.composeRowLhs(E.Ann)) {
-        Stats.ComposeCalls += RoundPredLimit[J];
+        const uint32_t Lim =
+            Relaxed ? Preds.degree(E.Src) : RoundPredLimit[J];
+        Stats.ComposeCalls += Lim;
         Preds.forEachChunks(
-            E.Src, RoundPredLimit[J],
-            [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
+            E.Src, Lim, [&](const AdjacencyLists::Chunk &Ch, uint32_t N) {
               for (uint32_t I = 0; I != N; ++I)
                 addEdge(Ch.Peers[I], E.Dst, D.compose(E.Ann, Ch.Anns[I]));
             });
       }
     }
   }
+
+  // Fold worker counters, then append the shards' fresh edges. Their
+  // dedup bits were claimed in phase 3, so they go straight to
+  // insertFreshEdge (useless filter, conflict check, arena append);
+  // shard-major drain order is fixed, keeping rounds deterministic.
   for (size_t P = 0; P != NumParts; ++P) {
-    RoundBuf &B = RoundBufs[P];
-    Stats.ComposeCalls += B.ComposeCalls;
-    Stats.EdgesDropped += B.EdgesDropped;
-    for (const Edge &NE : B.NewEdges)
-      addEdge(NE.Src, NE.Dst, NE.Ann);
-    B.NewEdges.clear();
+    Stats.ComposeCalls += RoundBufs[P].ComposeCalls;
+    Stats.EdgesDropped += RoundBufs[P].EdgesDropped;
+  }
+  for (unsigned S = 0; S != NumShards; ++S) {
+    ShardScratch &Sh = Shards[S];
+    Stats.EdgesDropped += Sh.Dropped;
+    for (const Edge &NE : Sh.Fresh)
+      insertFreshEdge(NE.Src, NE.Dst, NE.Ann);
+    Sh.Fresh.clear();
+  }
+
+  // Per-shard scaling telemetry: merge-time and mailbox-occupancy
+  // histograms, and an imbalance instant (slowest vs fastest shard
+  // merge this round) so skewed ownership shows up in --metrics and
+  // traces instead of only in end-to-end benchmarks.
+  if (Metrics) {
+    MetricsRegistry &M = MetricsRegistry::global();
+    auto &MergeH = M.histogram("solver.shard_merge_ns");
+    auto &MailH = M.histogram("solver.shard_mailbox_edges");
+    for (unsigned S = 0; S != NumShards; ++S) {
+      MergeH.record(Shards[S].MergeNs);
+      MailH.record(Shards[S].MailEdges);
+    }
+  }
+  if (trace::enabled() && NumShards > 1) {
+    uint64_t MaxNs = 0, MinNs = ~uint64_t(0);
+    for (unsigned S = 0; S != NumShards; ++S) {
+      MaxNs = std::max(MaxNs, Shards[S].MergeNs);
+      MinNs = std::min(MinNs, Shards[S].MergeNs);
+    }
+    trace::instant("parallel.imbalance", MaxNs, MinNs);
   }
 }
 
@@ -921,7 +1050,8 @@ void BidirectionalSolver::resetToFresh() {
   NodeKind.clear();
   SuccDone.clear();
   PredDone.clear();
-  EdgeSeen = EdgeDedup(resolveDedupBackend(Options, D), D.size());
+  EdgeSeen = ShardedEdgeDedup(resolveDedupBackend(Options, D), D.size(),
+                              resolveMergeShards(Options));
   EdgeArena.clear();
   PendingHead = 0;
   Conflicts.clear();
@@ -950,11 +1080,17 @@ size_t BidirectionalSolver::memoryBytes() const {
              Watchers.capacity() * sizeof(std::vector<Watcher>) +
              (RoundSuccLimit.capacity() + RoundPredLimit.capacity()) *
                  sizeof(uint32_t) +
-             RoundBufs.capacity() * sizeof(RoundBuf);
+             RoundBufs.capacity() * sizeof(RoundBuf) +
+             Shards.capacity() * sizeof(ShardScratch);
   for (const std::vector<Watcher> &W : Watchers)
     N += W.capacity() * sizeof(Watcher);
-  for (const RoundBuf &B : RoundBufs)
-    N += B.NewEdges.capacity() * sizeof(Edge);
+  for (const RoundBuf &B : RoundBufs) {
+    N += B.Mail.capacity() * sizeof(std::vector<Edge>);
+    for (const std::vector<Edge> &M : B.Mail)
+      N += M.capacity() * sizeof(Edge);
+  }
+  for (const ShardScratch &Sh : Shards)
+    N += Sh.Fresh.capacity() * sizeof(Edge);
   return N;
 }
 

@@ -112,11 +112,13 @@ struct SolverOptions {
   /// single-threaded code path; 0 means one thread per hardware
   /// thread. With more than one thread the closure runs in
   /// bulk-synchronous rounds — the pending frontier is partitioned
-  /// across workers that compute 2-path joins into thread-local
-  /// buffers, and a sequential barrier merges them through the edge
-  /// dedup — reaching the identical fixpoint (the closure is
-  /// confluent; differentially tested). TrackProvenance records
-  /// arena order, so it forces the sequential path regardless.
+  /// across workers that compute 2-path joins into per-shard
+  /// mailboxes, shard owners merge their own destinations through
+  /// striped dedup segments concurrently (see MergeShards), and a
+  /// small sequential epilogue handles the cross-shard effects —
+  /// reaching the identical fixpoint (the closure is confluent;
+  /// differentially tested). TrackProvenance records arena order, so
+  /// it forces the sequential path regardless.
   unsigned Threads = 1;
 
   /// Minimum frontier size for a parallel round; smaller frontiers
@@ -124,6 +126,32 @@ struct SolverOptions {
   /// handful of edges costs more than it saves). Tests set 1 to force
   /// rounds on tiny systems.
   uint32_t ParallelFrontierThreshold = 128;
+
+  /// Shard count for the owner-partitioned parallel merge (DESIGN.md
+  /// §8): the edge-dedup table is striped into this many independent
+  /// segments routed by destination node id, and each round's merge
+  /// runs one owner per shard concurrently — the authoritative dedup
+  /// insertion stops being a sequential bottleneck. 0 (the default)
+  /// resolves to the thread count. Resolved at solver construction
+  /// like the dedup backend; changing it afterwards has no effect.
+  /// Purely a layout/scheduling knob: fixpoint, stats, and snapshot
+  /// format are shard-count independent (differentially tested), so
+  /// any value is sound, including with Threads == 1.
+  unsigned MergeShards = 0;
+
+  /// Relaxed-stats parallel mode: skip the sequential per-edge
+  /// processed-prefix limits sweep and let round workers scan the
+  /// full current adjacency degrees instead (stable during the
+  /// read-only compute phase). Every join the exact schedule performs
+  /// is contained in the relaxed scans, and extra attempts are
+  /// absorbed by the dedup filter, so the *fixpoint* stays
+  /// bit-identical to the sequential one — certified by
+  /// core/Certifier.h in the differential tests — and interrupts stay
+  /// resumable (the processed-prefix counters still advance exactly
+  /// once per edge). Only the work accounting is allowed to drift:
+  /// ComposeCalls and EdgesDropped may exceed the sequential totals.
+  /// Ignored on the sequential path (Threads == 1).
+  bool RelaxedParallelStats = false;
 
   /// Aggregate memory accounting across a batch of solvers (see
   /// core/BatchSolver.h): when non-null, every governance check
@@ -623,8 +651,9 @@ private:
                             unsigned Threads);
 
   /// One bulk-synchronous round over the next \p Frontier pending
-  /// edges with \p Threads-way compute (see Solver.cpp for the
-  /// three-phase structure and the exactly-once argument).
+  /// edges with \p Threads-way compute and an owner-partitioned
+  /// parallel merge (see Solver.cpp for the phase structure and the
+  /// exactly-once argument).
   void parallelRound(size_t Frontier, unsigned Threads);
 
   /// The slow governance checks (cancellation, deadline, memory,
@@ -637,6 +666,14 @@ private:
   /// save/restore records and re-checks this.
   static EdgeDedup::Backend resolveDedupBackend(const SolverOptions &Opts,
                                                 const AnnotationDomain &D);
+
+  /// The dedup shard count a solver constructed with \p Opts uses
+  /// (resolves MergeShards == 0 against the thread count, clamped to
+  /// a sane ceiling). Like the dedup backend, fixed at construction;
+  /// *not* recorded in snapshots — the on-disk dedup section is
+  /// shard-independent triples, so snapshots round-trip across
+  /// differently-sharded solvers.
+  static unsigned resolveMergeShards(const SolverOptions &Opts);
 
   /// Periodic checkpoint save (Options.CheckpointEveryPops): commits a
   /// snapshot to Options.CheckpointPath, records a failure in
@@ -701,10 +738,12 @@ private:
   std::vector<uint32_t> PredDone;
 
   // Edge dedup (annotation bitsets or per-destination flat sets; see
-  // SolverOptions::Dedup) and the edge arena. The arena doubles as
-  // the FIFO worklist: every edge is enqueued exactly once, so the
-  // ring never wraps and the head cursor suffices.
-  EdgeDedup EdgeSeen;
+  // SolverOptions::Dedup), striped by destination into MergeShards
+  // segments for the owner-partitioned merge (one segment on the
+  // sequential path), and the edge arena. The arena doubles as the
+  // FIFO worklist: every edge is enqueued exactly once, so the ring
+  // never wraps and the head cursor suffices.
+  ShardedEdgeDedup EdgeSeen;
   std::vector<Edge> EdgeArena;
   size_t PendingHead = 0;
   std::vector<SolvedEdge> Conflicts;
@@ -721,18 +760,31 @@ private:
   // Frontier-parallel round scratch (Options.Threads > 1), kept
   // across rounds so allocations amortize. The limit vectors hold the
   // per-frontier-edge processed-prefix snapshots taken by the
-  // sequential limits sweep; one RoundBuf per compute partition holds
-  // the worker's derived edges and its private counters until the
-  // merge barrier folds them in.
+  // sequential limits sweep (exact-stats mode only). One RoundBuf per
+  // compute partition holds the worker's private counters and its
+  // per-shard mailboxes: Mail[S] collects the partition's derived
+  // edges owned by shard S, written only by the producing worker
+  // during compute and read only by shard S's owner during the merge
+  // phase (a fan-out of single-producer/single-consumer buffers with
+  // the pool barrier as the handoff). One ShardScratch per dedup
+  // shard holds the owner's merge results until the sequential
+  // epilogue folds them in.
   std::unique_ptr<ThreadPool> Pool;
   std::vector<uint32_t> RoundSuccLimit;
   std::vector<uint32_t> RoundPredLimit;
   struct RoundBuf {
-    std::vector<Edge> NewEdges;
+    std::vector<std::vector<Edge>> Mail; // per-shard outboxes
     uint64_t ComposeCalls = 0;
     uint64_t EdgesDropped = 0;
   };
   std::vector<RoundBuf> RoundBufs;
+  struct alignas(64) ShardScratch {
+    std::vector<Edge> Fresh; // dedup-fresh edges, mailbox drain order
+    uint64_t Dropped = 0;    // duplicates caught by this shard's probe
+    uint64_t MailEdges = 0;  // mailbox edges drained this round
+    uint64_t MergeNs = 0;    // wall time of this shard's merge
+  };
+  std::vector<ShardScratch> Shards;
 
   // Last memoryBytes() published into Options.GroupMemory (the shared
   // cell accumulates deltas, so each solver remembers its own

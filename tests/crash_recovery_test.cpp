@@ -341,6 +341,80 @@ TEST_F(CrashRecovery, ParallelResumeOfSequentialSnapshot) {
 }
 
 //===----------------------------------------------------------------===//
+// Snapshots round-trip across merge-shard counts and relaxed mode
+//===----------------------------------------------------------------===//
+
+/// The on-disk edge set is a flat list of (src, dst, ann) triples, so
+/// a snapshot taken under any (Threads, MergeShards) configuration
+/// must restore into any other — including sequential — and resume to
+/// the same fixpoint. Exercises both directions: a sequentially
+/// interrupted snapshot resumed under a sharded (and relaxed-stats)
+/// solver, and a sharded-parallel interrupt resumed sequentially.
+TEST_F(CrashRecovery, ShardedSnapshotRoundTrip) {
+  for (uint64_t Seed = 1; Seed != 13; ++Seed) {
+    Rng R0(Seed);
+    testgen::RandomSystem Straight = testgen::randomSystem(R0);
+    BidirectionalSolver SS(*Straight.CS);
+    SS.solve();
+    Fixpoint Expect = queries(SS, *Straight.CS);
+
+    // Sequential interrupt -> sharded resume (exact and relaxed).
+    std::string Path = snapPath("shard_" + std::to_string(Seed));
+    {
+      Rng R(Seed);
+      testgen::RandomSystem Sys = testgen::randomSystem(R);
+      SolverOptions O;
+      O.MaxEdges = 2;
+      BidirectionalSolver S(*Sys.CS, O);
+      S.solve();
+      ASSERT_FALSE(S.saveCheckpoint(Path));
+    }
+    for (bool Relaxed : {false, true}) {
+      Rng R(Seed);
+      testgen::RandomSystem Sys = testgen::randomSystem(R);
+      SolverOptions O;
+      O.Threads = 4;
+      O.MergeShards = 8; // more shards than workers
+      O.RelaxedParallelStats = Relaxed;
+      O.ParallelFrontierThreshold = 1;
+      BidirectionalSolver S(*Sys.CS, O);
+      std::optional<Diag> D = S.restore(Path);
+      ASSERT_FALSE(D) << "seed " << Seed << ": " << D->render();
+      Status St = S.solve();
+      EXPECT_FALSE(BidirectionalSolver::isInterrupted(St));
+      EXPECT_EQ(queries(S, *Sys.CS), Expect)
+          << "seed " << Seed << (Relaxed ? ", relaxed" : ", exact");
+    }
+    std::remove(Path.c_str());
+
+    // Sharded-parallel interrupt -> sequential resume.
+    {
+      Rng R(Seed);
+      testgen::RandomSystem Sys = testgen::randomSystem(R);
+      SolverOptions O;
+      O.Threads = 4;
+      O.MergeShards = 4;
+      O.ParallelFrontierThreshold = 1;
+      O.MaxEdges = 2;
+      BidirectionalSolver S(*Sys.CS, O);
+      S.solve();
+      ASSERT_FALSE(S.saveCheckpoint(Path));
+    }
+    {
+      Rng R(Seed);
+      testgen::RandomSystem Sys = testgen::randomSystem(R);
+      BidirectionalSolver S(*Sys.CS); // sequential, single shard
+      std::optional<Diag> D = S.restore(Path);
+      ASSERT_FALSE(D) << "seed " << Seed << ": " << D->render();
+      Status St = S.solve();
+      EXPECT_FALSE(BidirectionalSolver::isInterrupted(St));
+      EXPECT_EQ(queries(S, *Sys.CS), Expect) << "seed " << Seed;
+    }
+    std::remove(Path.c_str());
+  }
+}
+
+//===----------------------------------------------------------------===//
 // Lazily-interning domains: honest rejection across "processes"
 //===----------------------------------------------------------------===//
 
