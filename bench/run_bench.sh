@@ -254,3 +254,85 @@ EOF
 else
   echo "note: $OBS_BIN not built; skipping observability A/B" >&2
 fi
+
+# --- Solve-service latency (DESIGN.md §10) -----------------------------
+# Boots rascd on an ephemeral port, drives it with the rascdclient
+# load harness (N concurrent connections, an ADD/SOLVE/ENTAIL mix
+# against private systems, Busy backoff honored), and appends a
+# "service" entry with client-observed p50/p99 per-op latency. The
+# server-side log2 histograms for the same run are captured via STATS
+# and stored alongside. Skipped when the service binaries are not
+# built.
+
+RASCD_BIN="${BENCH_RASCD_BIN:-$REPO_ROOT/build/examples/rascd}"
+RASCD_CLIENT="${BENCH_RASCD_CLIENT:-$REPO_ROOT/build/examples/rascdclient}"
+SVC_CONNECTIONS="${BENCH_SERVICE_CONNECTIONS:-4}"
+SVC_OPS="${BENCH_SERVICE_OPS:-60}"
+
+if [ -x "$RASCD_BIN" ] && [ -x "$RASCD_CLIENT" ]; then
+  SVC_DIR="$TMPDIR_BENCH/service"
+  mkdir -p "$SVC_DIR"
+  "$RASCD_BIN" --data "$SVC_DIR/data" --port 0 \
+               --port-file "$SVC_DIR/port" 2>"$SVC_DIR/rascd.log" &
+  RASCD_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$SVC_DIR/port" ] && break
+    sleep 0.1
+  done
+  if [ -s "$SVC_DIR/port" ]; then
+    "$RASCD_CLIENT" --port-file "$SVC_DIR/port" bench \
+        --connections "$SVC_CONNECTIONS" --ops "$SVC_OPS" --json \
+        --stats-out "$SVC_DIR/stats.json" >"$SVC_DIR/bench.json" \
+      || echo "warning: service bench failed" >&2
+    "$RASCD_CLIENT" --port-file "$SVC_DIR/port" drain >/dev/null 2>&1 || true
+    wait "$RASCD_PID" 2>/dev/null || true
+
+    python3 - "$OUT" "$LABEL" "$SVC_DIR" <<'EOF'
+import json, os, sys
+
+out_path, label, svc_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+bench_path = os.path.join(svc_dir, "bench.json")
+if not (os.path.exists(bench_path) and os.path.getsize(bench_path)):
+    sys.exit("no service bench output; skipping entry")
+with open(bench_path) as f:
+    bench = json.load(f)
+
+entry = {
+    "label": label,
+    "benchmark": "service",
+    "hardware_threads": os.cpu_count(),
+    **{k: bench[k] for k in ("connections", "ops_per_connection",
+                             "ops_ok", "busy_retries", "errors",
+                             "p50_us", "p99_us") if k in bench},
+}
+# Server-side log2 latency histograms (service.op.*_us) for the run.
+stats_path = os.path.join(svc_dir, "stats.json")
+if os.path.exists(stats_path) and os.path.getsize(stats_path):
+    with open(stats_path) as f:
+        stats = json.load(f)
+    entry["server_op_histograms"] = {
+        k: v for k, v in stats.get("histograms", {}).items()
+        if k.startswith("service.op.")}
+
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+doc.setdefault("runs", []).append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"appended 'service' entry for '{label}' to {out_path}")
+print(f"  {entry.get('connections')} connections x "
+      f"{entry.get('ops_per_connection')} ops: "
+      f"p50 {entry.get('p50_us')} us, p99 {entry.get('p99_us')} us, "
+      f"{entry.get('busy_retries')} busy retries, "
+      f"{entry.get('errors')} errors")
+EOF
+  else
+    echo "warning: rascd never came up; skipping service entry" >&2
+    kill -9 "$RASCD_PID" 2>/dev/null || true
+  fi
+else
+  echo "note: service binaries not built; skipping service latency" >&2
+fi

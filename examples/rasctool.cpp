@@ -59,6 +59,14 @@
 /// cancelled=14. A checkpoint that exists but cannot be restored
 /// exits 20; a failed --certify exits 21. Usage errors exit 1.
 ///
+/// SIGINT/SIGTERM trip a cooperative cancel flag wired as every
+/// solver's CancelFlag: the in-flight solve interrupts with Cancelled
+/// at its next governance check instead of dying mid-write, the
+/// end-of-solve snapshot still runs when --checkpoint is active, and
+/// the process exits 14 — so Ctrl-C during a checkpointed run leaves
+/// a restorable snapshot, and rerunning the same command resumes from
+/// where the interrupt landed.
+///
 /// See frontend/ConstraintParser.h for the file format.
 ///
 //===----------------------------------------------------------------------===//
@@ -70,6 +78,8 @@
 #include "support/Trace.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -81,6 +91,15 @@ using namespace rasc;
 namespace {
 
 using Status = BidirectionalSolver::Status;
+
+/// Set by SIGINT/SIGTERM and wired as every solver's CancelFlag; the
+/// resume loops check it so a signal ends the run with the Cancelled
+/// exit code instead of re-solving forever against a set flag.
+std::atomic<bool> InterruptRequested{false};
+
+void requestInterrupt(int) {
+  InterruptRequested.store(true, std::memory_order_relaxed);
+}
 
 const char *Demo = R"(# Example 2.4 (paper Section 2.4) over the 1-bit language.
 language regex "(g | k)* g";
@@ -182,6 +201,16 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
                     Solver.stats().ComposeCalls));
     if (!Cli.Resume)
       return statusExitCode(S);
+    if (S == Status::Cancelled &&
+        InterruptRequested.load(std::memory_order_relaxed)) {
+      // A signal, not a budget: resuming would immediately re-cancel.
+      // The end-of-solve snapshot (when --checkpoint is active) was
+      // already flushed by solve(), so rerunning resumes from here.
+      std::printf("cancelled by signal%s\n",
+                  Cli.CheckpointPath.empty() ? ""
+                                             : " (checkpoint flushed)");
+      return statusExitCode(S);
+    }
     std::printf("resuming with budgets lifted...\n");
     Solver.options().MaxEdges = 0;
     Solver.options().MaxComposeSteps = 0;
@@ -268,6 +297,7 @@ int runBatch(const std::string &Dir, CliOptions Cli) {
   BatchSolver::Options BO;
   BO.Threads = Cli.Threads;
   BO.DeadlineSeconds = Cli.Solver.DeadlineSeconds;
+  BO.CancelFlag = &InterruptRequested;
   BO.CheckpointDir = Cli.CheckpointPath;
   BO.CheckpointEveryPops = Cli.Solver.CheckpointEveryPops;
   BatchSolver Batch(BO);
@@ -278,7 +308,8 @@ int runBatch(const std::string &Dir, CliOptions Cli) {
   bool Interrupted = false;
   for (const BatchSolver::Result &R : Results)
     Interrupted |= BidirectionalSolver::isInterrupted(R.St);
-  if (Interrupted && Cli.Resume) {
+  if (Interrupted && Cli.Resume &&
+      !InterruptRequested.load(std::memory_order_relaxed)) {
     std::printf("interrupted tasks; resuming with budgets lifted...\n");
     for (std::unique_ptr<BidirectionalSolver> &S : Solvers) {
       S->options().MaxEdges = 0;
@@ -397,6 +428,13 @@ int main(int Argc, char **Argv) {
       Path = Argv[I];
     }
   }
+
+  // Cooperative cancellation: a signal interrupts the solve at its
+  // next governance check (Status::Cancelled, exit 14), letting the
+  // end-of-solve checkpoint and trace/metrics epilogues still run.
+  std::signal(SIGINT, requestInterrupt);
+  std::signal(SIGTERM, requestInterrupt);
+  Cli.Solver.CancelFlag = &InterruptRequested;
 
   if (TracePath)
     trace::setEnabled(true);

@@ -364,6 +364,16 @@ public:
   /// checked against.
   size_t memoryBytes() const;
 
+  /// What this solver has published into the shared aggregate-memory
+  /// cell \p Cell via Options.GroupMemory (0 when it last published
+  /// into a different cell, or never). A long-lived owner of the cell
+  /// (core/BatchSolver.h keeps one per batch; the solve service keeps
+  /// one per daemon) subtracts this when retiring a solver, so the
+  /// aggregate does not accumulate the footprints of dead sessions.
+  uint64_t publishedGroupMemory(const std::atomic<uint64_t> *Cell) const {
+    return Cell && LastGroupCell == Cell ? LastPublishedMemory : 0;
+  }
+
   /// \name Durability (core/Snapshot.cpp)
   /// Crash-safe checkpoint/restore. A snapshot captures the complete
   /// closure state — processed prefix, pending worklist tail, dedup

@@ -34,6 +34,25 @@ public:
     return P;
   }
 
+  /// Parses statements (no language block) into an existing program.
+  /// \p AppliedBytes tracks the fully-applied source prefix: it is
+  /// advanced past each statement only after the statement succeeded.
+  std::optional<Diag> parseInto(ConstraintProgram &P,
+                                size_t *AppliedBytes) {
+    while (true) {
+      skipTrivia();
+      if (Pos >= In.size()) {
+        if (AppliedBytes)
+          *AppliedBytes = In.size();
+        return std::nullopt;
+      }
+      if (!parseStatement(P))
+        return takeErr();
+      if (AppliedBytes)
+        *AppliedBytes = Pos;
+    }
+  }
+
 private:
   /// 1-based column of the cursor on the current line.
   uint32_t col() const { return static_cast<uint32_t>(Pos - LineStart + 1); }
@@ -452,6 +471,15 @@ ConstraintProgram::parse(std::string_view Source, std::string *Error) {
   if (Error && Error->empty())
     *Error = P.error().render();
   return std::nullopt;
+}
+
+std::optional<Diag>
+ConstraintProgram::addStatements(std::string_view Source,
+                                 size_t *AppliedBytes) {
+  if (AppliedBytes)
+    *AppliedBytes = 0;
+  ConstraintFileParser P(Source);
+  return P.parseInto(*this, AppliedBytes);
 }
 
 std::optional<VarId>

@@ -82,6 +82,19 @@ public:
   std::optional<VarId> varByName(std::string_view Name) const;
   std::optional<ConsId> consByName(std::string_view Name) const;
 
+  /// Parses and applies additional statements (declarations,
+  /// constraints, queries — everything but a 'language' block) against
+  /// this already-parsed program, so a resident system can grow online
+  /// (the solver's online contract picks appended constraints up on
+  /// its next solve()). Statements are applied in order; on a Diag the
+  /// statements *before* the offending one stand, and \p AppliedBytes
+  /// (when non-null) receives the length of the source prefix that was
+  /// fully applied — callers that persist the program text append
+  /// exactly that prefix so the durable text never diverges from the
+  /// in-memory system.
+  std::optional<Diag> addStatements(std::string_view Source,
+                                    size_t *AppliedBytes = nullptr);
+
   /// Solves (bidirectional) and evaluates every query.
   /// \returns the answers in declaration order, plus the solver via
   /// out-parameter for callers that want more (may be null).

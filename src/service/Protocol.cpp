@@ -1,0 +1,401 @@
+//===- service/Protocol.cpp - rascd wire protocol ---------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/FailPoint.h"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace rasc;
+using namespace rasc::service;
+
+namespace {
+
+/// Poll slice between drain-flag/timeout checks. Short enough that a
+/// drain request is observed promptly, long enough that an idle
+/// session costs a handful of wakeups per second.
+constexpr int PollSliceMs = 50;
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+} // namespace
+
+bool rasc::service::isRequestOp(uint8_t Raw) {
+  return Raw >= static_cast<uint8_t>(Op::Load) &&
+         Raw <= static_cast<uint8_t>(Op::Ping);
+}
+
+const char *rasc::service::opName(Op O) {
+  switch (O) {
+  case Op::Load:
+    return "load";
+  case Op::Add:
+    return "add";
+  case Op::Solve:
+    return "solve";
+  case Op::Entail:
+    return "entail";
+  case Op::QueryPn:
+    return "pn";
+  case Op::Stats:
+    return "stats";
+  case Op::Drain:
+    return "drain";
+  case Op::Ping:
+    return "ping";
+  case Op::Ok:
+    return "ok";
+  case Op::Error:
+    return "error";
+  case Op::Busy:
+    return "busy";
+  }
+  return "?";
+}
+
+bool rasc::service::validSystemName(std::string_view Name) {
+  if (Name.empty() || Name.size() > MaxNameBytes)
+    return false;
+  for (char C : Name)
+    if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '-' || C == '.'))
+      return false;
+  // No dotfiles / path tricks: the name must not start with a dot.
+  return Name[0] != '.';
+}
+
+std::string rasc::service::encodeFrame(Op O, std::string_view Body) {
+  uint32_t Len = static_cast<uint32_t>(Body.size() + 1);
+  std::string Out;
+  Out.reserve(4 + Len);
+  Out.push_back(static_cast<char>(Len & 0xff));
+  Out.push_back(static_cast<char>((Len >> 8) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 16) & 0xff));
+  Out.push_back(static_cast<char>((Len >> 24) & 0xff));
+  Out.push_back(static_cast<char>(O));
+  Out.append(Body);
+  return Out;
+}
+
+const char *rasc::service::readStatusName(ReadStatus S) {
+  switch (S) {
+  case ReadStatus::Ok:
+    return "ok";
+  case ReadStatus::Eof:
+    return "eof";
+  case ReadStatus::Drained:
+    return "drained";
+  case ReadStatus::Timeout:
+    return "timeout";
+  case ReadStatus::TooLarge:
+    return "too-large";
+  case ReadStatus::BadFrame:
+    return "bad-frame";
+  case ReadStatus::IoError:
+    return "io-error";
+  }
+  return "?";
+}
+
+Conn::Conn(int Fd) : Fd(Fd) {
+  if (Fd >= 0)
+    setNonBlocking(Fd);
+}
+
+Conn &Conn::operator=(Conn &&O) noexcept {
+  if (this != &O) {
+    close();
+    Fd = std::exchange(O.Fd, -1);
+    WriteTimeoutMs = O.WriteTimeoutMs;
+  }
+  return *this;
+}
+
+void Conn::shutdownBoth() {
+  if (Fd >= 0)
+    ::shutdown(Fd, SHUT_RDWR);
+}
+
+void Conn::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+Conn::IoResult Conn::readExact(uint8_t *Buf, size_t N, bool FrameStarted,
+                               const std::atomic<bool> *DrainFlag,
+                               int IdleTimeoutMs, std::string *ErrMsg) {
+  size_t Got = 0;
+  auto T0 = std::chrono::steady_clock::now();
+  while (Got < N) {
+    if (failpoints::armedAny() &&
+        failpoints::hit(failpoints::Point::ServiceConnReset)) {
+      if (ErrMsg)
+        *ErrMsg = "connection reset (injected)";
+      return IoResult::Error;
+    }
+    ssize_t R = ::recv(Fd, Buf + Got, N - Got, 0);
+    if (R > 0) {
+      Got += static_cast<size_t>(R);
+      FrameStarted = true;
+      continue;
+    }
+    if (R == 0)
+      return (Got == 0 && !FrameStarted) ? IoResult::Eof
+                                         : IoResult::EofMidRead;
+    if (errno == EINTR)
+      continue;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      if (ErrMsg)
+        *ErrMsg = std::strerror(errno);
+      return IoResult::Error;
+    }
+    // Nothing buffered: park one poll slice, then re-check the drain
+    // flag (between frames only) and the idle/stall budget.
+    struct pollfd P = {Fd, POLLIN, 0};
+    ::poll(&P, 1, PollSliceMs);
+    bool MidFrame = FrameStarted || Got > 0;
+    if (!MidFrame && DrainFlag &&
+        DrainFlag->load(std::memory_order_relaxed))
+      return IoResult::Drained;
+    if (IdleTimeoutMs > 0 &&
+        secondsSince(T0) * 1000.0 >= static_cast<double>(IdleTimeoutMs)) {
+      if (MidFrame && ErrMsg)
+        *ErrMsg = "timed out mid-frame (slow client)";
+      return IoResult::Timeout;
+    }
+  }
+  return IoResult::Ok;
+}
+
+ReadStatus Conn::readFrame(Frame &Out, uint32_t MaxFrameBytes,
+                           const std::atomic<bool> *DrainFlag,
+                           int IdleTimeoutMs, std::string *ErrMsg) {
+  uint8_t Hdr[4];
+  switch (readExact(Hdr, sizeof Hdr, /*FrameStarted=*/false, DrainFlag,
+                    IdleTimeoutMs, ErrMsg)) {
+  case IoResult::Ok:
+    break;
+  case IoResult::Eof:
+    return ReadStatus::Eof;
+  case IoResult::EofMidRead:
+    if (ErrMsg)
+      *ErrMsg = "connection closed inside the length prefix";
+    return ReadStatus::BadFrame;
+  case IoResult::Drained:
+    return ReadStatus::Drained;
+  case IoResult::Timeout:
+    return ReadStatus::Timeout;
+  case IoResult::Error:
+    return ReadStatus::IoError;
+  }
+  uint32_t Len = static_cast<uint32_t>(Hdr[0]) |
+                 (static_cast<uint32_t>(Hdr[1]) << 8) |
+                 (static_cast<uint32_t>(Hdr[2]) << 16) |
+                 (static_cast<uint32_t>(Hdr[3]) << 24);
+  if (Len == 0) {
+    if (ErrMsg)
+      *ErrMsg = "zero-length frame (a frame carries at least an opcode)";
+    return ReadStatus::BadFrame;
+  }
+  if (Len > MaxFrameBytes) {
+    if (ErrMsg)
+      *ErrMsg = "declared frame length " + std::to_string(Len) +
+                " exceeds the limit of " + std::to_string(MaxFrameBytes) +
+                " bytes";
+    return ReadStatus::TooLarge;
+  }
+  uint8_t OpByte = 0;
+  switch (readExact(&OpByte, 1, /*FrameStarted=*/true, DrainFlag,
+                    IdleTimeoutMs, ErrMsg)) {
+  case IoResult::Ok:
+    break;
+  case IoResult::Eof:
+  case IoResult::EofMidRead:
+    if (ErrMsg)
+      *ErrMsg = "connection closed mid-frame";
+    return ReadStatus::BadFrame;
+  case IoResult::Drained:
+    return ReadStatus::Drained; // unreachable: mid-frame ignores drain
+  case IoResult::Timeout:
+    return ReadStatus::Timeout;
+  case IoResult::Error:
+    return ReadStatus::IoError;
+  }
+  Out.Kind = static_cast<Op>(OpByte);
+  Out.Body.resize(Len - 1);
+  if (Len > 1) {
+    switch (readExact(reinterpret_cast<uint8_t *>(Out.Body.data()),
+                      Len - 1, /*FrameStarted=*/true, DrainFlag,
+                      IdleTimeoutMs, ErrMsg)) {
+    case IoResult::Ok:
+      break;
+    case IoResult::Eof:
+    case IoResult::EofMidRead:
+      if (ErrMsg)
+        *ErrMsg = "connection closed mid-frame";
+      return ReadStatus::BadFrame;
+    case IoResult::Drained:
+      return ReadStatus::Drained; // unreachable, as above
+    case IoResult::Timeout:
+      return ReadStatus::Timeout;
+    case IoResult::Error:
+      return ReadStatus::IoError;
+    }
+  }
+  return ReadStatus::Ok;
+}
+
+bool Conn::writeFrame(Op O, std::string_view Body, std::string *ErrMsg) {
+  std::string Wire = encodeFrame(O, Body);
+  size_t Limit = Wire.size();
+  bool Injected = false;
+  if (failpoints::armedAny() &&
+      failpoints::hit(failpoints::Point::ServiceShortWrite)) {
+    // Transmit a strict prefix, then fail: the peer sees a truncated
+    // frame (its reader must reject it), and this side sees a failed
+    // write (the session must close without taking the daemon down).
+    Limit = Wire.size() / 2;
+    Injected = true;
+  }
+  size_t Sent = 0;
+  auto T0 = std::chrono::steady_clock::now();
+  while (Sent < Limit) {
+    ssize_t W = ::send(Fd, Wire.data() + Sent, Limit - Sent, MSG_NOSIGNAL);
+    if (W > 0) {
+      Sent += static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno == EINTR)
+      continue;
+    if (W < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      if (ErrMsg)
+        *ErrMsg = std::strerror(errno);
+      return false;
+    }
+    struct pollfd P = {Fd, POLLOUT, 0};
+    ::poll(&P, 1, PollSliceMs);
+    if (WriteTimeoutMs > 0 &&
+        secondsSince(T0) * 1000.0 >= static_cast<double>(WriteTimeoutMs)) {
+      if (ErrMsg)
+        *ErrMsg = "write timed out (slow client)";
+      return false;
+    }
+  }
+  if (Injected) {
+    if (ErrMsg)
+      *ErrMsg = "short write (injected)";
+    return false;
+  }
+  return true;
+}
+
+int rasc::service::connectTcp(const std::string &Host, uint16_t Port,
+                              std::string *ErrMsg) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (ErrMsg)
+      *ErrMsg = std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (ErrMsg)
+      *ErrMsg = "invalid IPv4 address '" + Host + "'";
+    ::close(Fd);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) !=
+      0) {
+    if (ErrMsg)
+      *ErrMsg = std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+  return Fd;
+}
+
+std::optional<std::pair<std::string, std::string>>
+rasc::service::parseQueryBody(std::string_view Body, std::string *ErrMsg) {
+  auto fail = [&](const char *Why) {
+    if (ErrMsg)
+      *ErrMsg = std::string(Why) +
+                " (queries are \"constant in variable\", got \"" +
+                std::string(Body.substr(0, 80)) + "\")";
+    return std::nullopt;
+  };
+  size_t I = 0, E = Body.size();
+  auto skipWs = [&] {
+    while (I < E && std::isspace(static_cast<unsigned char>(Body[I])))
+      ++I;
+  };
+  auto ident = [&]() -> std::string {
+    size_t S = I;
+    while (I < E && (std::isalnum(static_cast<unsigned char>(Body[I])) ||
+                     Body[I] == '_'))
+      ++I;
+    return std::string(Body.substr(S, I - S));
+  };
+  skipWs();
+  std::string C = ident();
+  if (C.empty())
+    return fail("expected a constant name");
+  skipWs();
+  std::string In = ident();
+  if (In != "in")
+    return fail("expected 'in'");
+  skipWs();
+  std::string V = ident();
+  if (V.empty())
+    return fail("expected a variable name");
+  skipWs();
+  if (I != E)
+    return fail("trailing characters after the variable");
+  return std::make_pair(std::move(C), std::move(V));
+}
+
+std::string rasc::service::kvGet(std::string_view Body,
+                                 std::string_view Key) {
+  size_t Pos = 0;
+  while (Pos < Body.size()) {
+    size_t End = Body.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Body.size();
+    std::string_view Line = Body.substr(Pos, End - Pos);
+    size_t Eq = Line.find('=');
+    if (Eq != std::string_view::npos && Line.substr(0, Eq) == Key)
+      return std::string(Line.substr(Eq + 1));
+    Pos = End + 1;
+  }
+  return {};
+}

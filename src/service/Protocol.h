@@ -1,0 +1,177 @@
+//===- service/Protocol.h - rascd wire protocol -----------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed wire protocol of the persistent solve service (rascd)
+/// and the connection primitive both sides share. One frame is
+///
+///   length   u32 LE   byte count of opcode + body (>= 1)
+///   opcode   u8       see Op
+///   body     bytes    op-specific UTF-8 text (never interpreted as
+///                     anything but text; the solver state machine is
+///                     the only consumer)
+///
+/// Requests carry program text or "constant in variable" query text;
+/// responses carry newline-separated "key=value" lines (kvGet). A
+/// declared length above the daemon's frame cap makes the stream
+/// unsyncable, so the session answers with a structured Error frame
+/// and closes; every other malformed input (garbage opcode,
+/// unparseable text) is answered on the same session, which keeps
+/// serving — failure containment is per-session by construction.
+///
+/// Conn is a nonblocking fd wrapper that does framed reads/writes
+/// under poll(2) with an idle/stall timeout, observes a drain flag
+/// between frames (never mid-frame: an accepted request is always
+/// answered), and consults the Service* fail points
+/// (support/FailPoint.h) so tests can inject resets, short writes,
+/// and accept failures deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SERVICE_PROTOCOL_H
+#define RASC_SERVICE_PROTOCOL_H
+
+#include "support/Diag.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace rasc {
+namespace service {
+
+/// Frame opcodes. Requests are client -> daemon; responses daemon ->
+/// client. Busy is the one unsolicited frame: the accept path sends it
+/// (with a retry-after-ms backoff hint) when the daemon is over its
+/// admission cap or draining, instead of queueing unboundedly.
+enum class Op : uint8_t {
+  // Requests.
+  Load = 0x01,    ///< body: name '\n' program text (empty text = attach)
+  Add = 0x02,     ///< body: statements to append to the attached system
+  Solve = 0x03,   ///< body: empty; runs/resumes the attached solve
+  Entail = 0x04,  ///< body: "constant in variable" (Section 3.2)
+  QueryPn = 0x05, ///< body: "constant in variable" (PN, Section 6.2)
+  Stats = 0x06,   ///< body: empty; answers the metrics JSON snapshot
+  Drain = 0x07,   ///< body: empty; asks the daemon to drain + shut down
+  Ping = 0x08,    ///< body: empty; liveness probe
+
+  // Responses.
+  Ok = 0x81,    ///< op succeeded; body is op-specific key=value text
+  Error = 0x82, ///< structured failure (Diag-derived); body = message
+  Busy = 0x83,  ///< admission rejected; body carries retry-after-ms
+};
+
+/// True for opcodes a client may send.
+bool isRequestOp(uint8_t Raw);
+/// Human name of an opcode ("load", "ok", ...); "?" when unknown.
+const char *opName(Op O);
+
+struct Frame {
+  Op Kind = Op::Error;
+  std::string Body;
+};
+
+/// Default cap on one frame's declared length (opcode + body). The
+/// daemon's RascdOptions can lower it; a hostile declared length is
+/// rejected before any allocation of that size.
+inline constexpr uint32_t DefaultMaxFrameBytes = 8u << 20;
+
+/// Longest accepted system name in a Load body.
+inline constexpr size_t MaxNameBytes = 64;
+
+/// True iff \p Name is a well-formed system name: [A-Za-z0-9_.-]+, at
+/// most MaxNameBytes. Names become file names under the data dir, so
+/// the alphabet is deliberately closed (no separators, no dotfiles).
+bool validSystemName(std::string_view Name);
+
+/// Serializes one frame: length prefix, opcode, body.
+std::string encodeFrame(Op O, std::string_view Body);
+
+/// Outcome of Conn::readFrame.
+enum class ReadStatus : uint8_t {
+  Ok,       ///< a complete frame was read
+  Eof,      ///< orderly close at a frame boundary
+  Drained,  ///< the drain flag fired between frames
+  Timeout,  ///< idle (or mid-frame stall) timeout expired
+  TooLarge, ///< declared length exceeds the cap; stream unsyncable
+  BadFrame, ///< malformed framing: zero length or truncated mid-frame
+  IoError,  ///< read(2)/recv(2) failure or injected fault
+};
+const char *readStatusName(ReadStatus S);
+
+/// One framed connection over an owned nonblocking stream socket.
+class Conn {
+public:
+  Conn() = default;
+  /// Takes ownership of \p Fd and switches it nonblocking.
+  explicit Conn(int Fd);
+  Conn(Conn &&O) noexcept : Fd(std::exchange(O.Fd, -1)),
+                            WriteTimeoutMs(O.WriteTimeoutMs) {}
+  Conn &operator=(Conn &&O) noexcept;
+  ~Conn() { close(); }
+  Conn(const Conn &) = delete;
+  Conn &operator=(const Conn &) = delete;
+
+  bool valid() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Total budget for one writeFrame call (poll + send); a slow client
+  /// that cannot drain a response within it fails the write.
+  void setWriteTimeoutMs(int Ms) { WriteTimeoutMs = Ms; }
+
+  /// Reads one frame. Between frames the call polls in short slices,
+  /// observing \p DrainFlag (when non-null) and the idle budget; once
+  /// the first byte of a frame arrived, the frame is completed
+  /// regardless of drain (an accepted request is always answered) but
+  /// still bounded by \p IdleTimeoutMs against mid-frame stalls.
+  /// \p IdleTimeoutMs <= 0 means no timeout. On IoError/BadFrame a
+  /// rendered reason is stored into \p ErrMsg when non-null.
+  ReadStatus readFrame(Frame &Out, uint32_t MaxFrameBytes,
+                       const std::atomic<bool> *DrainFlag,
+                       int IdleTimeoutMs, std::string *ErrMsg = nullptr);
+
+  /// Writes one frame completely or fails (short write, timeout, or
+  /// injected fault); \returns false on failure with the reason in
+  /// \p ErrMsg. A failed write poisons only this connection.
+  bool writeFrame(Op O, std::string_view Body,
+                  std::string *ErrMsg = nullptr);
+
+  /// Half-closes both directions, waking any poll on the peer/thread
+  /// without racing fd reuse (the fd itself stays owned until close).
+  void shutdownBoth();
+
+  void close();
+
+private:
+  enum class IoResult { Ok, Eof, EofMidRead, Drained, Timeout, Error };
+  IoResult readExact(uint8_t *Buf, size_t N, bool FrameStarted,
+                     const std::atomic<bool> *DrainFlag,
+                     int IdleTimeoutMs, std::string *ErrMsg);
+
+  int Fd = -1;
+  int WriteTimeoutMs = 5000;
+};
+
+/// Client side: blocking TCP connect to \p Host:\p Port; \returns the
+/// connected fd, or -1 with the reason in \p ErrMsg.
+int connectTcp(const std::string &Host, uint16_t Port,
+               std::string *ErrMsg);
+
+/// Parses a query body "constant in variable" into the two names.
+std::optional<std::pair<std::string, std::string>>
+parseQueryBody(std::string_view Body, std::string *ErrMsg);
+
+/// Looks up \p Key in a newline-separated "key=value" response body;
+/// empty string when absent.
+std::string kvGet(std::string_view Body, std::string_view Key);
+
+} // namespace service
+} // namespace rasc
+
+#endif // RASC_SERVICE_PROTOCOL_H

@@ -60,6 +60,21 @@ enum class Point : unsigned {
   /// a *valid* snapshot on disk — the kill-and-recover tests restore
   /// from it.
   CrashAfterRename,
+  /// Socket faults for the solve service (src/service/Protocol.cpp).
+  /// ServiceShortWrite: a framed response write transmits only a prefix
+  /// of the frame and then fails — simulating a peer that disappeared
+  /// mid-write. The session must close with a structured error path
+  /// (never an abort), and the daemon must keep serving.
+  ServiceShortWrite,
+  /// ServiceConnReset: a framed read observes a connection reset even
+  /// though the peer is healthy (injected ECONNRESET). The session
+  /// must be torn down cleanly without affecting its neighbors.
+  ServiceConnReset,
+  /// ServiceAcceptFail: the daemon's accept path fails after the
+  /// kernel handed over a connection (resource exhaustion at accept
+  /// time). The connection is dropped, a counter records it, and the
+  /// accept loop must keep admitting later connections.
+  ServiceAcceptFail,
   NumPoints,
 };
 

@@ -182,4 +182,49 @@ TEST(Frontend, NamesResolve) {
   EXPECT_FALSE(P->consByName("nope").has_value());
 }
 
+TEST(Frontend, AddStatementsGrowsAProgramOnline) {
+  std::string Err;
+  std::optional<ConstraintProgram> P = ConstraintProgram::parse(
+      "language regex \"g*\";\nconstant c;\nvar X;\nc <= X;\n"
+      "query c in X;\n",
+      &Err);
+  ASSERT_TRUE(P) << Err;
+  size_t Before = P->system().constraints().size();
+  size_t Applied = 0;
+  std::optional<Diag> D =
+      P->addStatements("var Y;\nX <= Y;\nquery c in Y;\n", &Applied);
+  EXPECT_FALSE(D) << D->render();
+  EXPECT_EQ(Applied, std::string("var Y;\nX <= Y;\nquery c in Y;\n").size());
+  EXPECT_TRUE(P->varByName("Y").has_value());
+  EXPECT_EQ(P->system().constraints().size(), Before + 1);
+  ASSERT_EQ(P->queries().size(), 2u);
+  // The appended constraint participates in the next solve.
+  auto Answers = P->solveAndAnswer();
+  ASSERT_EQ(Answers.size(), 2u);
+  EXPECT_TRUE(Answers[0].Holds);
+  EXPECT_TRUE(Answers[1].Holds);
+}
+
+TEST(Frontend, AddStatementsReportsAppliedPrefixOnDiag) {
+  std::string Err;
+  std::optional<ConstraintProgram> P = ConstraintProgram::parse(
+      "language regex \"g*\";\nconstant c;\nvar X;\nc <= X;\n", &Err);
+  ASSERT_TRUE(P) << Err;
+  std::string Src = "var Y;\n%%% nonsense\n";
+  size_t Applied = 0;
+  std::optional<Diag> D = P->addStatements(Src, &Applied);
+  ASSERT_TRUE(D);
+  // The statement before the offending one stands, and AppliedBytes
+  // covers exactly the fully-applied prefix.
+  EXPECT_TRUE(P->varByName("Y").has_value());
+  EXPECT_LE(Applied, Src.find("%%%"));
+  EXPECT_GE(Applied, std::string("var Y;").size());
+  // A 'language' block cannot be re-declared after the fact.
+  size_t Applied2 = 0;
+  std::optional<Diag> D2 =
+      P->addStatements("language regex \"g\";\n", &Applied2);
+  EXPECT_TRUE(D2);
+  EXPECT_EQ(Applied2, 0u);
+}
+
 } // namespace
