@@ -12,7 +12,10 @@
 #      LOAD/ADD survived (zero accepted-work loss)
 #   4. rasctool --checkpoint --certify on the recovered snapshot: the
 #      independent certifier accepts the state the daemon wrote
-#   5. rasctool SIGINT: cooperative cancel (exit 14, or 0 if the solve
+#   5. RETRACT round-trip: withdraw a constraint online (incremental
+#      re-solve), kill -9, restart — the retraction survives because
+#      the durable text gained a "retract N;" statement before the Ok
+#   6. rasctool SIGINT: cooperative cancel (exit 14, or 0 if the solve
 #      won the race), snapshot flushed, rerun resumes to exit 0
 #
 # The binaries must already be built (cmake --build build -j).
@@ -106,11 +109,39 @@ pass "kill -9 + restart recovered acknowledged state"
 kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID" || fail "second drain failed"
 DAEMON_PID=""
 [ -f "$DATA/dur.rsnap" ] || fail "no recovered snapshot to certify"
-"$RASCTOOL" --checkpoint "$DATA/dur.rsnap" --certify "$DATA/dur.rasc" \
+# --incremental: the daemon keeps retraction live by default, and
+# snapshot options are semantic — the certifying solver must match.
+"$RASCTOOL" --incremental --checkpoint "$DATA/dur.rsnap" \
+    --certify "$DATA/dur.rasc" \
   >/dev/null || fail "certifier rejected the daemon's snapshot"
 pass "rasctool --certify accepts the recovered snapshot"
 
-# --- 5. rasctool SIGINT: cancel, flush, resume --------------------------
+# --- 5. RETRACT round-trip surviving kill -9 ----------------------------
+
+start_daemon
+OUT="$(rpc entail dur "c in X1")" || fail "entail before retract"
+echo "$OUT" | grep -q "holds=true" || fail "unexpected pre-retract state: $OUT"
+# Withdraw "X0 <= X1" (constraint 1 of dur.rasc): the answer flips
+# without a from-scratch solve.
+OUT="$(rpc retract dur 1)" || fail "retract"
+echo "$OUT" | grep -q "mode=incremental" \
+  || fail "retract did not take the incremental path: $OUT"
+OUT="$(rpc entail dur "c in X1")" || fail "entail after retract"
+echo "$OUT" | grep -q "holds=false" || fail "retract had no effect: $OUT"
+OUT="$(rpc entail dur "c in X0")" || fail "entail X0 after retract"
+echo "$OUT" | grep -q "holds=true" || fail "retract removed too much: $OUT"
+# The axe again: the acknowledged retraction must ride the durable
+# text ("retract 1;" was appended before the Ok) through a hard kill.
+{ kill -9 "$DAEMON_PID" && wait "$DAEMON_PID"; } 2>/dev/null || true
+DAEMON_PID=""
+start_daemon
+OUT="$(rpc entail dur "c in X1")" || fail "entail after retract+kill"
+echo "$OUT" | grep -q "holds=false" || fail "acknowledged RETRACT lost: $OUT"
+kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID" || fail "post-retract drain failed"
+DAEMON_PID=""
+pass "RETRACT round-trip (incremental re-solve, survived kill -9)"
+
+# --- 6. rasctool SIGINT: cancel, flush, resume --------------------------
 
 # A banded chain: ~6n constraints whose transitive closure has O(n^2)
 # derived edges, so the solve runs long enough for the signal to land.

@@ -13,6 +13,10 @@
 ///   load NAME FILE        create system NAME from FILE's program text
 ///   attach NAME           check that NAME is resident
 ///   add NAME FILE         append FILE's statements to NAME
+///   retract NAME INDEX    withdraw constraint INDEX (0-based) from
+///                         NAME and re-solve incrementally; the
+///                         "retract INDEX;" statement is persisted
+///                         before the Ok, so it replays on a warm boot
 ///   solve NAME            solve NAME and print the response; the exit
 ///                         code mirrors rasctool (solved=0,
 ///                         inconsistent=1, deadline=10, ...)
@@ -362,6 +366,11 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     return runSimple(G, {{Op::Load, Name}, {Op::Add, *Text}});
+  }
+  if (Cmd == "retract") {
+    std::string Name = positional();
+    std::string Index = positional();
+    return runSimple(G, {{Op::Load, Name}, {Op::Retract, Index}});
   }
   if (Cmd == "solve") {
     std::string Name = positional();

@@ -24,6 +24,19 @@
 ///                    the aggregate solver statistics
 ///   --no-resume      report an interrupted solve instead of resuming
 ///   --explain        on inconsistency, print a derivation witness
+///   --retract N      after the solve reaches a fixpoint, withdraw
+///                    constraint N (0-based ingestion order) and
+///                    re-solve incrementally (DESIGN.md section 11);
+///                    repeatable, applied in order. Implies
+///                    provenance + incremental indexes. Falls back to
+///                    a fresh re-solve if the incremental
+///                    preconditions fail (e.g. after cycle collapse).
+///   --incremental    solve with the provenance + incremental indexes
+///                    maintained even without --retract — needed to
+///                    restore/--certify snapshots written by an
+///                    incremental solver (e.g. rascd's, which keeps
+///                    retraction live by default): snapshot options
+///                    are semantic and must match on restore.
 ///
 /// Durability (DESIGN.md section 7, "Durability"):
 ///
@@ -146,6 +159,7 @@ struct CliOptions {
   bool Explain = false;
   std::string CheckpointPath; // batch mode: a directory
   bool Certify = false;
+  std::vector<uint32_t> Retract; // applied in order after the solve
 };
 
 /// Runs the independent certifier and prints its verdict; \returns
@@ -174,6 +188,11 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
               Dom.machine().numStates(), Dom.size());
 
   Cli.Solver.TrackProvenance |= Cli.Explain;
+  if (!Cli.Retract.empty()) {
+    // The retraction indexes must exist from the first solve.
+    Cli.Solver.TrackProvenance = true;
+    Cli.Solver.Incremental = true;
+  }
   Cli.Solver.Threads = Cli.Threads;
   Cli.Solver.CheckpointPath = Cli.CheckpointPath;
   BidirectionalSolver Solver(P->system(), Cli.Solver);
@@ -219,6 +238,38 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
     S = Solver.solve();
   }
 
+  for (uint32_t Idx : Cli.Retract) {
+    // Flag the constraint in the system first (retract() validates the
+    // flag), then invalidate its derivation cone and re-close.
+    std::optional<Diag> FlagDiag =
+        P->addStatements("retract " + std::to_string(Idx) + ";", nullptr);
+    if (FlagDiag) {
+      std::fprintf(stderr, "%s: %s\n", Name, FlagDiag->render().c_str());
+      return 1;
+    }
+    uint64_t RemovedBefore = Solver.stats().RetractedEdges;
+    uint64_t RequeuedBefore = Solver.stats().RequeuedEdges;
+    Expected<Status> RS = Solver.retract(Idx);
+    if (RS) {
+      S = *RS;
+      std::printf("retracted constraint %u: removed %llu edges, "
+                  "requeued %llu, now %s\n",
+                  Idx,
+                  static_cast<unsigned long long>(
+                      Solver.stats().RetractedEdges - RemovedBefore),
+                  static_cast<unsigned long long>(
+                      Solver.stats().RequeuedEdges - RequeuedBefore),
+                  statusName(S));
+    } else {
+      // E.g. cycle elimination collapsed variables: representatives
+      // cannot be un-merged, so re-solve the edited system fresh.
+      std::printf("retract %u: %s; re-solving from scratch\n", Idx,
+                  RS.error().message().c_str());
+      Solver.resetToFresh();
+      S = Solver.solve();
+    }
+  }
+
   const SolverStats &Stats = Solver.stats();
   std::printf("%s: %llu edges, %llu compositions, %llu function "
               "constraints%s\n\n",
@@ -231,8 +282,12 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
   if (S == Status::Inconsistent && Cli.Explain &&
       !Solver.conflicts().empty()) {
     std::printf("why inconsistent:\n");
-    for (const std::string &Line : Solver.conflictWitness(0))
-      std::printf("  %s\n", Line.c_str());
+    Expected<std::vector<std::string>> W = Solver.conflictWitnessEx(0);
+    if (W)
+      for (const std::string &Line : *W)
+        std::printf("  %s\n", Line.c_str());
+    else
+      std::printf("  %s\n", W.error().message().c_str());
     std::printf("\n");
   }
 
@@ -415,6 +470,14 @@ int main(int Argc, char **Argv) {
         return 1;
       observe::setProgressEverySeconds(static_cast<unsigned>(N));
       observe::setMetricsEnabled(true);
+    } else if (Arg == "--retract") {
+      uint64_t N = 0;
+      if (!numArg(N))
+        return 1;
+      Cli.Retract.push_back(static_cast<uint32_t>(N));
+    } else if (Arg == "--incremental") {
+      Cli.Solver.Incremental = true;
+      Cli.Solver.TrackProvenance = true;
     } else if (Arg == "--certify") {
       Cli.Certify = true;
     } else if (Arg == "--no-resume") {

@@ -246,6 +246,10 @@ CertificationReport rasc::certifyFixpoint(const BidirectionalSolver &S) {
   const std::vector<Constraint> &Cons = CS.constraints();
   size_t Ingested = S.ingestedConstraints();
   for (size_t Idx = 0; Idx < Ingested; ++Idx) {
+    // A retracted constraint carries no obligations: its watcher was
+    // removed and its cone invalidated (BidirectionalSolver::retract).
+    if (CS.isRetracted(static_cast<uint32_t>(Idx)))
+      continue;
     const Expr &L = CS.expr(Cons[Idx].Lhs);
     if (L.Kind != ExprKind::Proj)
       continue;
@@ -288,6 +292,8 @@ CertificationReport rasc::certifyFixpoint(const BidirectionalSolver &S) {
   // Surface rule: every ingested non-projection constraint's
   // canonical edge must be accounted for.
   for (size_t Idx = 0; Idx < Ingested; ++Idx) {
+    if (CS.isRetracted(static_cast<uint32_t>(Idx)))
+      continue;
     const Expr &L = CS.expr(Cons[Idx].Lhs);
     if (L.Kind == ExprKind::Proj)
       continue;

@@ -190,6 +190,40 @@ public:
     return ConstraintList;
   }
 
+  /// \name Retraction
+  /// Constraints are never removed from the list (ids are stable and
+  /// solvers index into it), they are *flagged*: a retracted
+  /// constraint is skipped by ingestion, excluded from the certifier's
+  /// obligations, and its derivation cone is invalidated by
+  /// BidirectionalSolver::retract. Flagging keeps the system's text
+  /// replayable — "retract N;" statements re-apply on a warm boot.
+  /// @{
+  std::optional<Diag> retract(uint32_t Idx) {
+    if (Idx >= ConstraintList.size()) {
+      LastDiag = Diag("retract: constraint index " + std::to_string(Idx) +
+                      " out of range (have " +
+                      std::to_string(ConstraintList.size()) + ")");
+      return LastDiag;
+    }
+    if (Idx >= RetractedFlags.size())
+      RetractedFlags.resize(ConstraintList.size(), 0);
+    if (RetractedFlags[Idx]) {
+      LastDiag = Diag("retract: constraint " + std::to_string(Idx) +
+                      " is already retracted");
+      return LastDiag;
+    }
+    RetractedFlags[Idx] = 1;
+    ++NumRetracted;
+    return std::nullopt;
+  }
+
+  bool isRetracted(uint32_t Idx) const {
+    return Idx < RetractedFlags.size() && RetractedFlags[Idx];
+  }
+
+  uint32_t numRetracted() const { return NumRetracted; }
+  /// @}
+
   /// A coarse size measure (number of symbols), the "n" of the paper's
   /// complexity discussion (Section 4).
   size_t sizeInSymbols() const {
@@ -215,6 +249,8 @@ private:
   std::vector<Constructor> Constructors;
   std::vector<std::string> VarNames;
   std::vector<Constraint> ConstraintList;
+  std::vector<uint8_t> RetractedFlags; ///< grown lazily to list size
+  uint32_t NumRetracted = 0;
   mutable std::optional<Diag> LastDiag;
 
   // Hash-consing tables. Interning is logically const (ids are stable

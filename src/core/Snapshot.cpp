@@ -141,6 +141,11 @@ BidirectionalSolver::saveCheckpoint(const std::string &Path) const {
       B.u32(Cons[I].Rhs);
       B.u32(Cons[I].Ann);
     }
+    // v2: the retraction flags are part of the closure's meaning (a
+    // retracted constraint carries no obligations), so they round-trip
+    // and are cross-checked against the caller's system on restore.
+    for (size_t I = 0; I < NumIngested; ++I)
+      B.u8(CS.isRetracted(static_cast<uint32_t>(I)));
   }
 
   {
@@ -230,6 +235,9 @@ BidirectionalSolver::saveCheckpoint(const std::string &Path) const {
     B.u64(Stats.Resumes);
     B.u64(Stats.ParallelRounds);
     B.u64(Stats.CheckpointsSaved);
+    B.u64(Stats.Retractions);
+    B.u64(Stats.RetractedEdges);
+    B.u64(Stats.RequeuedEdges);
     B.f64(Stats.IngestSeconds);
     B.f64(Stats.ClosureSeconds);
     B.f64(Stats.FnVarSeconds);
@@ -268,10 +276,14 @@ std::optional<Diag> BidirectionalSolver::restore(const std::string &Path) {
   if (!RE)
     return RE.error();
   const SnapshotReader &R = *RE;
-  if (R.version() != FormatVersion)
+  // A reader accepts every version it knows (v1 lacks the retraction
+  // flags and counters, which then restore as zero); only an unknown
+  // — newer — version is rejected.
+  if (R.version() < 1 || R.version() > FormatVersion)
     return rejected(Path, "unsupported format version " +
-                              std::to_string(R.version()) + " (expected " +
-                              std::to_string(FormatVersion) + ")");
+                              std::to_string(R.version()) + " (newest known "
+                              "is " + std::to_string(FormatVersion) + ")");
+  const bool HasRetraction = R.version() >= 2;
 
   auto getSection = [&](uint32_t Tag) { return R.section(Tag); };
   auto missing = [&](const char *Name) {
@@ -429,6 +441,18 @@ std::optional<Diag> BidirectionalSolver::restore(const std::string &Path) {
     if (Cons[I].Lhs != Lhs || Cons[I].Rhs != Rhs || Cons[I].Ann != Ann)
       return rejected(Path, "constraint prefix mismatch at index " +
                                 std::to_string(I));
+  }
+  // Retraction flags (v2+; a v1 snapshot predates retraction, so all
+  // flags are clear). The caller must have flagged its system to the
+  // exact state of the save — the closure's obligations depend on it.
+  for (uint64_t I = 0; I != SnapIngested; ++I) {
+    bool SnapRetracted = HasRetraction && CR.u8() != 0;
+    if (CR.bad())
+      return rejected(Path, "truncated CONS retraction flags");
+    if (SnapRetracted != CS.isRetracted(static_cast<uint32_t>(I)))
+      return rejected(Path, "retraction flag mismatch at index " +
+                                std::to_string(I) +
+                                " (system and snapshot disagree)");
   }
   if (!CR.atEnd())
     return rejected(Path, "trailing bytes in CONS section");
@@ -613,6 +637,11 @@ std::optional<Diag> BidirectionalSolver::restore(const std::string &Path) {
   LocalStats.Resumes = StS->u64();
   LocalStats.ParallelRounds = StS->u64();
   LocalStats.CheckpointsSaved = StS->u64();
+  if (HasRetraction) {
+    LocalStats.Retractions = StS->u64();
+    LocalStats.RetractedEdges = StS->u64();
+    LocalStats.RequeuedEdges = StS->u64();
+  }
   LocalStats.IngestSeconds = StS->f64();
   LocalStats.ClosureSeconds = StS->f64();
   LocalStats.FnVarSeconds = StS->f64();
@@ -732,6 +761,11 @@ std::optional<Diag> BidirectionalSolver::restore(const std::string &Path) {
   EagerFnVarSol.clear();
   FnVarSolFresh = false;
   PopsSinceCheckpoint = 0;
+  // The retraction indexes (parent arena indices plus the triple map
+  // resolving premise edges) are a deterministic function of the
+  // committed provenance records, so they are rebuilt, not stored.
+  if (incrementalActive())
+    rebuildProvIndex();
 
   //===--------------------------------------------------------------===//
   // Phase C: certify the restored closure independently. A snapshot

@@ -24,8 +24,9 @@
 ///         canonicalized expressions mid-solve; restore verifies the
 ///         surface prefix and replays the tail through the checked
 ///         builders, asserting identical ids and function variables)
-///   CONS  the ingested constraint prefix, verified against the
-///         caller's system on restore
+///   CONS  the ingested constraint prefix plus per-constraint
+///         retracted flags (v2+), verified against the caller's
+///         system on restore
 ///   UNIF  union-find forest (cycle-elimination representatives)
 ///   EDGE  the edge arena = worklist, in derivation order; adjacency
 ///         lists and processed-prefix counters are deterministically
@@ -59,8 +60,13 @@ namespace rasc {
 namespace snapshot {
 
 /// Bumped on any incompatible layout change; restore rejects versions
-/// it does not know.
-inline constexpr uint32_t FormatVersion = 1;
+/// it does not know. Version history:
+///   1  initial layout
+///   2  CONS gains a per-constraint retracted flag byte; STAT gains
+///      the three retraction counters (Retractions, RetractedEdges,
+///      RequeuedEdges). Version-1 snapshots restore with all flags
+///      clear and the counters zero.
+inline constexpr uint32_t FormatVersion = 2;
 
 inline constexpr uint32_t TagMeta = sectionTag("META");
 inline constexpr uint32_t TagExprs = sectionTag("EXPR");

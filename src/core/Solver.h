@@ -35,6 +35,7 @@
 #include "core/GroundTerm.h"
 #include "support/Adjacency.h"
 #include "support/AnnSet.h"
+#include "support/FlatSet.h"
 #include "support/Trace.h"
 #include "support/UnionFind.h"
 
@@ -192,6 +193,16 @@ struct SolverOptions {
   /// insert; off by default.
   bool TrackProvenance = false;
 
+  /// Maintain the retraction indexes during solving — the premise
+  /// parent links of every derived edge plus the (src, dst, ann) →
+  /// arena map they are resolved through — so that retract() can
+  /// compute a derivation cone without replaying the closure (DESIGN.md
+  /// §11). Requires TrackProvenance (the parent links compress the
+  /// premise records it keeps); retract() rejects solvers missing
+  /// either flag. Costs two hash-map operations per fresh edge; off by
+  /// default.
+  bool Incremental = false;
+
   /// Edge-dedup data layout (DESIGN.md "Solver data layout"). Bitset
   /// keeps one annotation bitset per (src, dst) node pair — dedup is
   /// a test-and-set, ideal while annotation ids are dense and small.
@@ -232,6 +243,11 @@ struct SolverStats {
   // Durability counters.
   uint64_t CheckpointsSaved = 0; ///< snapshots committed to disk
 
+  // Incremental re-solve counters (SolverOptions::Incremental).
+  uint64_t Retractions = 0;    ///< validated retract() calls
+  uint64_t RetractedEdges = 0; ///< derivation-cone edges removed
+  uint64_t RequeuedEdges = 0;  ///< surviving edges requeued for re-closure
+
   // Wall-clock phase timings, accumulated across solve() calls.
   double IngestSeconds = 0;  ///< canonicalization + surface ingest
   double ClosureSeconds = 0; ///< worklist transitive/projection closure
@@ -255,6 +271,9 @@ struct SolverStats {
     Resumes += O.Resumes;
     ParallelRounds += O.ParallelRounds;
     CheckpointsSaved += O.CheckpointsSaved;
+    Retractions += O.Retractions;
+    RetractedEdges += O.RetractedEdges;
+    RequeuedEdges += O.RequeuedEdges;
     IngestSeconds += O.IngestSeconds;
     ClosureSeconds += O.ClosureSeconds;
     FnVarSeconds += O.FnVarSeconds;
@@ -347,6 +366,33 @@ public:
   /// the closure; the interrupted-then-resumed fixpoint is identical
   /// to an uninterrupted one (differentially tested).
   Status solve();
+
+  /// Incremental retraction (delta re-solve, DESIGN.md §11): undoes
+  /// the consequences of constraint \p Idx — which the caller must
+  /// already have flagged via ConstraintSystem::retract — and re-runs
+  /// the closure from the surviving support, reaching the fixpoint a
+  /// fresh solve of the edited system would (differentially tested
+  /// and certified). The derivation cone of the constraint's surface
+  /// facts is removed from the arena, adjacency, and dedup tables;
+  /// surviving edges incident to an affected node (or carrying an
+  /// alternative decompose/projection derivation into one) are
+  /// requeued, and surviving surface constraints are re-ingested so a
+  /// shared dedup bit never orphans an independently-derivable fact.
+  ///
+  /// Requires SolverOptions::Incremental and TrackProvenance from the
+  /// first solve(), and a quiescent solver (Solved or Inconsistent,
+  /// empty worklist). Retracting an identity variable-variable
+  /// constraint after cycle elimination merged variables is rejected
+  /// (representatives cannot be un-merged); every other shape is fair
+  /// game. On any Diag the solver is unchanged.
+  Expected<Status> retract(uint32_t Idx);
+
+  /// Returns the solver to its freshly-constructed state: restore()'s
+  /// failure path, and the callers' fallback when retract()'s
+  /// preconditions fail — a fresh solve() then re-ingests the edited
+  /// system (retracted constraints are skipped), which is always
+  /// correct, just not incremental.
+  void resetToFresh();
 
   Status status() const { return Stat; }
   const SolverStats &stats() const { return Stats; }
@@ -475,6 +521,13 @@ public:
   /// Options.TrackProvenance from the first solve(); returns an empty
   /// vector otherwise or when I is out of range.
   std::vector<std::string> conflictWitness(size_t I) const;
+
+  /// conflictWitness with a diagnosis instead of a silent empty
+  /// vector: explains *why* no witness is available (provenance not
+  /// tracked from the first solve, or the index out of range) so
+  /// frontends can tell the user to enable TrackProvenance rather
+  /// than print nothing.
+  Expected<std::vector<std::string>> conflictWitnessEx(size_t I) const;
 
   /// The representative of \p V after cycle elimination (vars merged
   /// into a cycle share all bounds).
@@ -692,10 +745,27 @@ private:
   /// simulated kill, for the crash-recovery tests).
   void periodicCheckpoint();
 
-  /// Returns the solver to its freshly-constructed state (restore()'s
-  /// failure path: on any Diag the solver must be reusable from
-  /// scratch).
-  void resetToFresh();
+  /// True when the retraction indexes are maintained (both flags are
+  /// required; retract() enforces the pairing with a Diag).
+  bool incrementalActive() const {
+    return Options.Incremental && Options.TrackProvenance;
+  }
+
+  /// Arena index of the edge with this exact (src, dst, ann) triple,
+  /// or ~0u when absent / the triple is an invalid premise slot.
+  /// O(1) via the incremental triple map.
+  uint32_t provEdgeIndex(const Edge &E) const;
+
+  /// Registers arena edge \p I in the triple map (two-level: (src,
+  /// dst) pair id, then (pair, ann) → index).
+  void registerProvEdge(ExprId Src, ExprId Dst, AnnId Ann, uint32_t I);
+
+  /// Rebuilds the triple map and the parent links from
+  /// EdgeArena/EdgeProvs (after a snapshot restore or a retraction
+  /// compaction; both are deterministic functions of the provenance
+  /// records, which is how snapshots round-trip the index without
+  /// serializing it).
+  void rebuildProvIndex();
 
   /// Records this solve() call's deltas into the global
   /// MetricsRegistry (core/Observe.h). Only called when
@@ -722,6 +792,18 @@ private:
   std::vector<EdgeProv> EdgeProvs;
   std::vector<EdgeProv> ConflictProvs;
   EdgeProv CurProv;
+
+  // Retraction indexes (incrementalActive()): per arena edge, the
+  // arena indices of its first derivation's premise edges (~0u =
+  // none/not an edge premise), resolved at insertion through the
+  // two-level triple map below. retract() inverts the parent links
+  // into a children index on demand and walks it to the derivation
+  // cone. Parallel to EdgeArena, like EdgeProvs.
+  std::vector<uint32_t> ProvPar1;
+  std::vector<uint32_t> ProvPar2;
+  FlatMap64 ProvPairIds; // (src << 32 | dst) -> dense pair id
+  FlatMap64 ProvTriples; // (pair id << 32 | ann) -> arena index
+  uint32_t NextProvPairId = 0;
 
   // Cycle elimination: variable representatives.
   mutable UnionFind VarReps;

@@ -425,6 +425,18 @@ private:
       P.Queries.push_back(std::move(Q));
       return true;
     }
+    if (*Kw == "retract") {
+      // "retract N;" flags the N-th constraint (0-based ingestion
+      // order, counting every earlier constraint statement including
+      // proj) as withdrawn. The flag replays on a warm boot exactly
+      // like the statement that added the constraint did.
+      auto N = number();
+      if (!N)
+        return false;
+      if (std::optional<Diag> D = P.CS->retract(*N))
+        return fail(D->message());
+      return eat(';');
+    }
 
     // Otherwise: a constraint "side <= [ann] side;".
     Pos = Save;

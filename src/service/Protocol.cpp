@@ -47,7 +47,7 @@ void setNonBlocking(int Fd) {
 
 bool rasc::service::isRequestOp(uint8_t Raw) {
   return Raw >= static_cast<uint8_t>(Op::Load) &&
-         Raw <= static_cast<uint8_t>(Op::Ping);
+         Raw <= static_cast<uint8_t>(Op::Retract);
 }
 
 const char *rasc::service::opName(Op O) {
@@ -68,6 +68,8 @@ const char *rasc::service::opName(Op O) {
     return "drain";
   case Op::Ping:
     return "ping";
+  case Op::Retract:
+    return "retract";
   case Op::Ok:
     return "ok";
   case Op::Error:

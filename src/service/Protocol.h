@@ -60,6 +60,7 @@ enum class Op : uint8_t {
   Stats = 0x06,   ///< body: empty; answers the metrics JSON snapshot
   Drain = 0x07,   ///< body: empty; asks the daemon to drain + shut down
   Ping = 0x08,    ///< body: empty; liveness probe
+  Retract = 0x09, ///< body: decimal constraint index to withdraw
 
   // Responses.
   Ok = 0x81,    ///< op succeeded; body is op-specific key=value text

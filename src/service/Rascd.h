@@ -6,8 +6,8 @@
 ///
 /// \file
 /// rascd: a long-running daemon that keeps named constraint systems
-/// resident and serves LOAD / ADD / SOLVE / ENTAIL / PN / STATS /
-/// DRAIN over the framed protocol in service/Protocol.h (DESIGN.md
+/// resident and serves LOAD / ADD / RETRACT / SOLVE / ENTAIL / PN /
+/// STATS / DRAIN over the framed protocol in service/Protocol.h (DESIGN.md
 /// §10). The daemon is an exercise in running the resumable solver of
 /// Sections 3–6 under live, hostile load:
 ///
@@ -87,6 +87,15 @@ struct RascdOptions {
   /// calls. CancelFlag / GroupMemory / Checkpoint* fields are
   /// overwritten per system by the daemon.
   SolverOptions Session;
+
+  /// Run resident solvers with Incremental + TrackProvenance so the
+  /// RETRACT op can invalidate just the retracted constraint's
+  /// derivation cone and re-close from the surviving frontier
+  /// (DESIGN.md §11). Provenance forces the sequential closure path
+  /// and costs memory per derived edge; switch off to trade RETRACT
+  /// latency (it then falls back to a fresh re-solve) for cheaper
+  /// steady-state solves.
+  bool IncrementalRetract = true;
 
   /// Aggregate cap on solver-owned memory summed over every resident
   /// system (enforced through one shared GroupMemory cell at

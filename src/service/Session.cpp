@@ -92,6 +92,9 @@ bool Session::serveOne(const Frame &F) {
     case Op::Add:
       R = handleAdd(F.Body);
       break;
+    case Op::Retract:
+      R = handleRetract(F.Body);
+      break;
     case Op::Solve:
       R = handleSolve();
       break;
@@ -180,6 +183,71 @@ Frame Session::handleAdd(const std::string &Body) {
     return err("add applied in memory but not persisted: " +
                PersistDiag->render());
   return ok("applied-bytes=" + std::to_string(Applied));
+}
+
+Frame Session::handleRetract(const std::string &Body) {
+  if (!Attached)
+    return err("no system attached (send load first)");
+  // Body: a decimal constraint index (0-based ingestion order).
+  size_t B = Body.find_first_not_of(" \t\r\n");
+  size_t E = Body.find_last_not_of(" \t\r\n");
+  std::string Tok =
+      B == std::string::npos ? std::string() : Body.substr(B, E - B + 1);
+  if (Tok.empty() ||
+      Tok.find_first_not_of("0123456789") != std::string::npos ||
+      Tok.size() > 9)
+    return err("retract wants a decimal constraint index, got '" +
+               Body.substr(0, 80) + "'");
+  uint32_t Idx = static_cast<uint32_t>(std::stoul(Tok));
+
+  ResidentSystem &Sys = *Attached;
+  std::lock_guard<std::mutex> L(Sys.Mx);
+  // Route through the same statement path as ADD: the parser applies
+  // the flag (rejecting out-of-range and double retraction with
+  // Applied == 0, so nothing persists), and the durable text gains a
+  // "retract N;" line that replays identically on a warm boot.
+  std::string Stmt = "retract " + Tok + ";";
+  size_t Applied = 0;
+  std::optional<Diag> ParseDiag =
+      Sys.Program->addStatements(Stmt, &Applied);
+  std::optional<Diag> PersistDiag;
+  if (Applied > 0) {
+    if (!Sys.Text.empty() && Sys.Text.back() != '\n')
+      Sys.Text.push_back('\n');
+    Sys.Text.append(Stmt);
+    Sys.Text.push_back('\n');
+    PersistDiag = D.persistSystemText(Sys);
+  }
+  if (ParseDiag)
+    return err("retract rejected: " + ParseDiag->render());
+  if (PersistDiag)
+    return err("retract applied in memory but not persisted: " +
+               PersistDiag->render());
+
+  // Prefer the incremental path (cone invalidation + frontier
+  // re-closure); any retract() precondition Diag — interrupted solve,
+  // cycle-elimination collapse — degrades to a fresh re-solve, which
+  // is always correct because ingestion skips flagged constraints.
+  BidirectionalSolver &S = *Sys.Solver;
+  const char *Mode = "fresh";
+  Status St;
+  Expected<Status> RS = S.retract(Idx);
+  if (RS) {
+    Mode = "incremental";
+    St = *RS;
+  } else {
+    S.resetToFresh();
+    St = solveAttached(Sys);
+  }
+  std::string Resp;
+  Resp += "status=";
+  Resp += solveStatusName(St);
+  Resp += "\nmode=";
+  Resp += Mode;
+  Resp += "\nretracted-edges=" + std::to_string(S.stats().RetractedEdges);
+  Resp += "\nrequeued-edges=" + std::to_string(S.stats().RequeuedEdges);
+  Resp += "\nedges=" + std::to_string(S.stats().EdgesInserted);
+  return ok(std::move(Resp));
 }
 
 Status Session::solveAttached(ResidentSystem &Sys) {

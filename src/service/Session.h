@@ -14,7 +14,7 @@
 /// session close, never an exception that crosses the pool boundary.
 ///
 /// The session attaches to at most one ResidentSystem at a time (the
-/// LOAD op); SOLVE / ADD / ENTAIL / PN operate on the attachment
+/// LOAD op); SOLVE / ADD / RETRACT / ENTAIL / PN operate on the attachment
 /// under its mutex, so two sessions sharing a system serialize on it
 /// while sessions on different systems proceed in parallel.
 ///
@@ -51,6 +51,7 @@ private:
   // Op handlers: each returns the response frame to write.
   Frame handleLoad(const std::string &Body);
   Frame handleAdd(const std::string &Body);
+  Frame handleRetract(const std::string &Body);
   Frame handleSolve();
   Frame handleQuery(const std::string &Body, bool Pn);
   Frame handleStats();

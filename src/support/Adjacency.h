@@ -19,6 +19,7 @@
 #ifndef RASC_SUPPORT_ADJACENCY_H
 #define RASC_SUPPORT_ADJACENCY_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -116,6 +117,17 @@ public:
   /// forEach over the entries present at call time.
   template <typename Fn> void forEach(uint32_t Node, Fn &&F) const {
     forEach(Node, degree(Node), static_cast<Fn &&>(F));
+  }
+
+  /// Empties every list and returns all chunks to the arena, keeping
+  /// the node table size and every capacity. The incremental solver
+  /// rebuilds adjacency from the compacted edge arena after a
+  /// retraction; reusing the arenas avoids re-paying their growth, and
+  /// memoryBytes() (capacity-based) is unchanged.
+  void clear() {
+    std::fill(Nodes.begin(), Nodes.end(), NodeRef{});
+    Chunks.clear();
+    NextChunk.clear();
   }
 
   /// Heap bytes held (for the solver's approximate memory budget).

@@ -122,6 +122,44 @@ public:
     return testAndSetSpilled(Key, Ann);
   }
 
+  /// Clears bit \p Ann of row \p Key. The row's slot is kept even when
+  /// its last bit clears — a retraction is usually followed by
+  /// re-derivation into the same (src, dst) pairs, and an occupied
+  /// zero-bits row costs nothing on the probe path. \returns true if
+  /// the bit was set.
+  bool testAndClear(uint64_t Key, uint32_t Ann) {
+    if (InlineMode) {
+      if (Ann >= 64 || Slots.empty())
+        return false;
+      size_t Mask = Slots.size() - 1;
+      size_t I = static_cast<size_t>(mix64(Key)) & Mask;
+      uint64_t Bit = uint64_t(1) << Ann;
+      while (true) {
+        Slot &S = Slots[I];
+        if (S.Key == Key) {
+          if (!(S.Bits & Bit))
+            return false;
+          S.Bits &= ~Bit;
+          return true;
+        }
+        if (S.Key == Empty)
+          return false;
+        I = (I + 1) & Mask;
+      }
+    }
+    if (Ann >= Stride * 64)
+      return false;
+    const uint32_t *Row = Rows.lookup(Key);
+    if (!Row)
+      return false;
+    uint64_t Mask = uint64_t(1) << (Ann % 64);
+    uint64_t &Word = Bits[static_cast<size_t>(*Row) * Stride + Ann / 64];
+    if (!(Word & Mask))
+      return false;
+    Word &= ~Mask;
+    return true;
+  }
+
   /// Tests bit \p Ann of row \p Key without modifying the table.
   /// Read-only, so concurrent test() calls are race-free — the
   /// frontier-parallel closure's workers use this to pre-filter
@@ -336,6 +374,18 @@ public:
     return PerDst[B].insert((static_cast<uint64_t>(A) << 32) | Ann);
   }
 
+  /// Removes the edge (the incremental solver's cone invalidation).
+  /// \returns true if it was recorded. Capacity is retained by both
+  /// backends, so memoryBytes() is unchanged by erases.
+  bool erase(uint32_t A, uint32_t B, uint32_t Ann) {
+    if (Which == Backend::Bitset)
+      return Bitsets.testAndClear(
+          (static_cast<uint64_t>(A) << 32) | B, Ann);
+    if (B >= PerDst.size())
+      return false;
+    return PerDst[B].erase((static_cast<uint64_t>(A) << 32) | Ann);
+  }
+
   /// \returns whether the edge is already recorded, without modifying
   /// the structure. Read-only, so concurrent contains() calls are
   /// race-free (used by the frontier-parallel workers' pre-filter).
@@ -452,6 +502,15 @@ public:
     if (Segs.size() == 1)
       return Segs.front().D.insert(A, B, Ann);
     return Segs[B % Segs.size()].D.insert(
+        A, B / static_cast<uint32_t>(Segs.size()), Ann);
+  }
+
+  /// Removes the edge, routed to its owning shard. \returns true if it
+  /// was recorded.
+  bool erase(uint32_t A, uint32_t B, uint32_t Ann) {
+    if (Segs.size() == 1)
+      return Segs.front().D.erase(A, B, Ann);
+    return Segs[B % Segs.size()].D.erase(
         A, B / static_cast<uint32_t>(Segs.size()), Ann);
   }
 

@@ -8,9 +8,12 @@
 /// Cache-friendly open-addressed hash containers over 64-bit integer
 /// keys, used on the solver's closure hot path where the generality of
 /// std::unordered_set (chained buckets, one allocation per node) costs
-/// more than the work being deduplicated. Both containers are
-/// insert-only (the solver's closure is monotone — nothing is ever
-/// retracted), which keeps probing tombstone-free.
+/// more than the work being deduplicated. Probing stays tombstone-free
+/// even though FlatSet64 supports erase: deletion is backward-shift
+/// (displaced keys slide back into the hole), so lookups never probe
+/// past a dead marker and the incremental solver's retraction path
+/// (SolverOptions::Incremental) pays no probe-length tax on the solves
+/// that follow an erase.
 ///
 /// The empty slot is marked with the all-ones key, so ~0ULL cannot be
 /// stored; the solver packs (id, id) pairs of valid 32-bit ids, which
@@ -23,6 +26,7 @@
 
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <cstddef>
@@ -30,9 +34,9 @@
 
 namespace rasc {
 
-/// Insert-only open-addressed set of uint64_t keys (linear probing,
-/// power-of-two capacity, grown at 7/8 load). The key ~0ULL is
-/// reserved as the empty marker.
+/// Open-addressed set of uint64_t keys (linear probing, power-of-two
+/// capacity, grown at 7/8 load) with tombstone-free backward-shift
+/// erase. The key ~0ULL is reserved as the empty marker.
 class FlatSet64 {
   static constexpr uint64_t Empty = ~uint64_t(0);
 
@@ -77,6 +81,45 @@ public:
         return false;
       I = (I + 1) & Mask;
     }
+  }
+
+  /// Removes \p Key via backward-shift deletion: members of the probe
+  /// cluster after the hole slide back into it when their home slot
+  /// permits, so the table never holds a tombstone and lookups keep
+  /// their empty-slot termination. Capacity is never shrunk (an erase
+  /// is usually followed by re-derivation of a similar set), so
+  /// memoryBytes() is unchanged. \returns true if the key was present.
+  bool erase(uint64_t Key) {
+    if (Slots.empty())
+      return false;
+    size_t Mask = Slots.size() - 1;
+    size_t I = static_cast<size_t>(mix64(Key)) & Mask;
+    while (true) {
+      uint64_t S = Slots[I];
+      if (S == Empty)
+        return false;
+      if (S == Key)
+        break;
+      I = (I + 1) & Mask;
+    }
+    size_t Hole = I;
+    size_t J = I;
+    while (true) {
+      J = (J + 1) & Mask;
+      uint64_t S = Slots[J];
+      if (S == Empty)
+        break;
+      size_t Home = static_cast<size_t>(mix64(S)) & Mask;
+      // S can fill the hole iff the hole lies cyclically within
+      // [Home, J) — moving it back never breaks its own probe chain.
+      if (((J - Home) & Mask) >= ((J - Hole) & Mask)) {
+        Slots[Hole] = S;
+        Hole = J;
+      }
+    }
+    Slots[Hole] = Empty;
+    --Count;
+    return true;
   }
 
   void reserve(size_t N) {
@@ -184,6 +227,14 @@ public:
       Cap *= 2;
     if (Cap > Keys.size())
       rehash(Cap);
+  }
+
+  /// Empties the map but keeps its capacity (the incremental solver
+  /// rebuilds its provenance indexes in place after a retraction).
+  void clear() {
+    std::fill(Keys.begin(), Keys.end(), Empty);
+    std::fill(Values.begin(), Values.end(), 0u);
+    Count = 0;
   }
 
   /// Heap bytes held (for the solver's approximate memory budget).

@@ -318,6 +318,84 @@ TEST_F(ServiceTest, AddRejectsBadStatementButKeepsAppliedPrefix) {
   EXPECT_EQ(kvGet(R.Body, "holds"), "false");
 }
 
+TEST_F(ServiceTest, RetractUndoesAConstraintOnline) {
+  startDaemon();
+  Conn C = loadAndSolve("undo");
+  // Constraint 1 (0-based ingestion order) is "X0 <= X1": with it
+  // withdrawn, c still bounds X0 but no longer reaches X1. The
+  // resident solver runs with IncrementalRetract, so the edit goes
+  // through cone invalidation, not a fresh re-solve.
+  Frame R = rpc(C, Op::Retract, "1");
+  ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+  EXPECT_EQ(kvGet(R.Body, "status"), "solved");
+  EXPECT_EQ(kvGet(R.Body, "mode"), "incremental");
+  EXPECT_FALSE(kvGet(R.Body, "retracted-edges").empty());
+  R = rpc(C, Op::Entail, "c in X1");
+  EXPECT_EQ(kvGet(R.Body, "holds"), "false");
+  R = rpc(C, Op::Entail, "c in X0");
+  EXPECT_EQ(kvGet(R.Body, "holds"), "true");
+  // A second session attaching to the same name sees the edit.
+  Conn C2 = connect();
+  R = rpc(C2, Op::Load, "undo");
+  ASSERT_EQ(R.Kind, Op::Ok);
+  R = rpc(C2, Op::Entail, "c in X1");
+  EXPECT_EQ(kvGet(R.Body, "holds"), "false");
+}
+
+TEST_F(ServiceTest, RetractRejectsBadBodiesWithoutSideEffects) {
+  startDaemon();
+  {
+    // Unattached session first.
+    Conn C = connect();
+    Frame R = rpc(C, Op::Retract, "0");
+    EXPECT_EQ(R.Kind, Op::Error);
+    EXPECT_NE(R.Body.find("no system attached"), std::string::npos);
+  }
+  Conn C = loadAndSolve("picky");
+  Frame R = rpc(C, Op::Retract, "banana");
+  EXPECT_EQ(R.Kind, Op::Error);
+  EXPECT_NE(R.Body.find("decimal constraint index"), std::string::npos)
+      << R.Body;
+  R = rpc(C, Op::Retract, "99");
+  EXPECT_EQ(R.Kind, Op::Error);
+  EXPECT_NE(R.Body.find("out of range"), std::string::npos) << R.Body;
+  R = rpc(C, Op::Retract, "0");
+  ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+  R = rpc(C, Op::Retract, "0");
+  EXPECT_EQ(R.Kind, Op::Error);
+  EXPECT_NE(R.Body.find("already retracted"), std::string::npos) << R.Body;
+  // None of the rejected requests persisted anything: a restart
+  // replays exactly one retraction.
+  restartDaemon(/*Hard=*/false);
+  Conn C2 = connect();
+  R = rpc(C2, Op::Load, "picky");
+  ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+  R = rpc(C2, Op::Entail, "c in X0");
+  EXPECT_EQ(kvGet(R.Body, "holds"), "false"); // "c <= X0" withdrawn
+}
+
+TEST_F(ServiceTest, RetractSurvivesHardKill) {
+  startDaemon();
+  {
+    Conn C = loadAndSolve("retained");
+    Frame R = rpc(C, Op::Retract, "1");
+    ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+    // No further solve: recovery must replay the "retract 1;" line
+    // from the durable text (and reject any stale snapshot via the
+    // retraction-flag cross-check) rather than resurrect the edge.
+  }
+  restartDaemon(/*Hard=*/true);
+  EXPECT_EQ(D->numResidentSystems(), 1u);
+  Conn C = connect();
+  Frame R = rpc(C, Op::Load, "retained");
+  ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+  R = rpc(C, Op::Entail, "c in X1");
+  EXPECT_EQ(R.Kind, Op::Ok) << R.Body;
+  EXPECT_EQ(kvGet(R.Body, "holds"), "false") << "accepted RETRACT was lost";
+  R = rpc(C, Op::Entail, "c in X0");
+  EXPECT_EQ(kvGet(R.Body, "holds"), "true");
+}
+
 TEST_F(ServiceTest, StatsExposesServiceMetrics) {
   startDaemon();
   Conn C = loadAndSolve("metrics");
