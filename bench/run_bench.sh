@@ -336,6 +336,83 @@ else
   echo "note: $INC_BIN not built; skipping incremental A/B" >&2
 fi
 
+# --- Proof-emission overhead A/B (DESIGN.md §12) -----------------------
+# Runs bench_proof_overhead (the Section 4 DAG closure with proof
+# logging off / streaming to a temp file) and appends a "proof" entry.
+# Every round is one process invocation covering both configurations,
+# so off and on are interleaved A/B across rounds (min-of-9 by
+# default); "overhead_pct" compares the on-configuration's min against
+# the off min per size. Skipped when the proof bench is not built.
+
+PROOF_BIN="${BENCH_PROOF_BIN:-$REPO_ROOT/build/bench/bench_proof_overhead}"
+PROOF_ROUNDS="${BENCH_PROOF_ROUNDS:-9}"
+
+if [ -x "$PROOF_BIN" ]; then
+  for R in $(seq 1 "$PROOF_ROUNDS"); do
+    "$PROOF_BIN" --benchmark_min_time="$MIN_TIME" \
+                 --benchmark_format=json >"$TMPDIR_BENCH/proof_$R.json"
+    echo "proof round $R/$PROOF_ROUNDS done" >&2
+  done
+
+  python3 - "$OUT" "$LABEL" "$TMPDIR_BENCH" "$PROOF_ROUNDS" <<'EOF'
+import json, os, statistics, sys
+
+out_path, label, tmpdir, rounds = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+
+per_cfg = {}  # benchmark name -> {"ms": [...], "counters": {...}}
+for r in range(1, rounds + 1):
+    with open(os.path.join(tmpdir, f"proof_{r}.json")) as f:
+        doc = json.load(f)
+    for b in doc["benchmarks"]:
+        rec = per_cfg.setdefault(b["name"], {"ms": [], "counters": {}})
+        rec["ms"].append(b["real_time"] / 1e6)  # ns -> ms
+        for k in ("edges", "proof_bytes"):
+            if k in b:
+                rec["counters"][k] = int(b[k])
+
+configs = {
+    name: {
+        "min_ms": round(min(rec["ms"]), 3),
+        "median_ms": round(statistics.median(rec["ms"]), 3),
+        **rec["counters"],
+    }
+    for name, rec in sorted(per_cfg.items())
+}
+# Overhead of proof-on vs the proof-off baseline, per size.
+for name, cfg in configs.items():
+    if not name.startswith("BM_SolveProofOn"):
+        continue
+    size = name.rsplit("/", 1)[1]
+    base = configs.get(f"BM_SolveProofOff/{size}")
+    if base and base["min_ms"] > 0:
+        cfg["overhead_pct"] = round(
+            100.0 * (cfg["min_ms"] - base["min_ms"]) / base["min_ms"], 2)
+
+entry = {
+    "label": label,
+    "benchmark": "proof",
+    "rounds": rounds,
+    "hardware_threads": os.cpu_count(),
+    "configs": configs,
+}
+
+doc = {"runs": []}
+if os.path.exists(out_path):
+    with open(out_path) as f:
+        doc = json.load(f)
+doc.setdefault("runs", []).append(entry)
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"appended 'proof' entry for '{label}' to {out_path}")
+for name, cfg in sorted(configs.items()):
+    extra = f", overhead {cfg['overhead_pct']}%" if "overhead_pct" in cfg else ""
+    print(f"  {name}: min {cfg['min_ms']:.2f} ms{extra}")
+EOF
+else
+  echo "note: $PROOF_BIN not built; skipping proof-emission A/B" >&2
+fi
+
 # --- Solve-service latency (DESIGN.md §10) -----------------------------
 # Boots rascd on an ephemeral port, drives it with the rascdclient
 # load harness (N concurrent connections, an ADD/SOLVE/ENTAIL mix

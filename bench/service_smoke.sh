@@ -17,6 +17,10 @@
 #      the durable text gained a "retract N;" statement before the Ok
 #   6. rasctool SIGINT: cooperative cancel (exit 14, or 0 if the solve
 #      won the race), snapshot flushed, rerun resumes to exit 0
+#   7. proof logging across the trust boundary: SOLVE proof=1 streams
+#      a derivation log the standalone rasccheck accepts, kill -9
+#      under live load + a simulated torn tail is truncated on warm
+#      boot, and the re-solved log passes the checker again
 #
 # The binaries must already be built (cmake --build build -j).
 
@@ -27,8 +31,9 @@ BUILD="${BUILD_DIR:-$REPO_ROOT/build}"
 RASCD="$BUILD/examples/rascd"
 CLIENT="$BUILD/examples/rascdclient"
 RASCTOOL="$BUILD/examples/rasctool"
+RASCCHECK="$BUILD/examples/rasccheck"
 
-for B in "$RASCD" "$CLIENT" "$RASCTOOL"; do
+for B in "$RASCD" "$CLIENT" "$RASCTOOL" "$RASCCHECK"; do
   [ -x "$B" ] || { echo "error: $B not built" >&2; exit 1; }
 done
 
@@ -170,5 +175,43 @@ RC=0; wait "$TOOL_PID" || RC=$?
 "$RASCTOOL" --checkpoint "$WORK/big.rsnap" --certify "$WORK/big.rasc" \
   >/dev/null || fail "resume after SIGINT failed"
 pass "rasctool SIGINT cancel (exit $RC) + snapshot + clean resume"
+
+# --- 7. proof logging across the trust boundary -------------------------
+
+start_daemon
+OUT="$(rpc solve dur --proof)" || fail "solve --proof"
+echo "$OUT" | grep -q "proof=streaming" || fail "proof not streaming: $OUT"
+[ -f "$DATA/dur.rprf" ] || fail "no proof log on disk"
+# The daemon fsyncs a sealed trailer after every proof-enabled solve,
+# so the standalone checker can validate the log while rascd is live.
+"$RASCCHECK" "$DATA/dur.rprf" >/dev/null \
+  || fail "rasccheck rejected the live daemon's log"
+# The axe under live load, then make the torn tail deterministic: a
+# hard kill can leave a half-written frame, which we simulate so the
+# truncation path is exercised on every run, not only on lucky races.
+rpc bench --connections 4 --ops 200 >/dev/null 2>&1 &
+BENCH_PID=$!
+sleep 0.3
+{ kill -9 "$DAEMON_PID" && wait "$DAEMON_PID"; } 2>/dev/null || true
+DAEMON_PID=""
+kill "$BENCH_PID" 2>/dev/null || true
+wait "$BENCH_PID" 2>/dev/null || true
+printf 'PRFC-half-a-frame' >>"$DATA/dur.rprf"
+"$RASCCHECK" "$DATA/dur.rprf" >/dev/null 2>&1 \
+  && fail "rasccheck accepted a torn log"
+
+start_daemon
+grep -q "truncated torn tail" "$WORK/rascd.log" \
+  || fail "warm boot did not truncate the torn proof tail: $(cat "$WORK/rascd.log")"
+"$RASCCHECK" "$DATA/dur.rprf" >/dev/null \
+  || fail "truncated log no longer checks"
+# Re-opt-in: the restarted daemon rebuilds the proof from provenance.
+OUT="$(rpc solve dur --proof)" || fail "solve --proof after recovery"
+echo "$OUT" | grep -q "proof=streaming" || fail "proof not rebuilt: $OUT"
+"$RASCCHECK" "$DATA/dur.rprf" >/dev/null \
+  || fail "rasccheck rejected the rebuilt log"
+kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID" || fail "final drain failed"
+DAEMON_PID=""
+pass "proof log: streamed, torn tail truncated, rebuilt, checker-clean"
 
 echo "service smoke: all checks passed"

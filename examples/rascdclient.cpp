@@ -17,9 +17,12 @@
 ///                         NAME and re-solve incrementally; the
 ///                         "retract INDEX;" statement is persisted
 ///                         before the Ok, so it replays on a warm boot
-///   solve NAME            solve NAME and print the response; the exit
+///   solve NAME [--proof]  solve NAME and print the response; the exit
 ///                         code mirrors rasctool (solved=0,
-///                         inconsistent=1, deadline=10, ...)
+///                         inconsistent=1, deadline=10, ...). With
+///                         --proof the daemon streams a derivation log
+///                         to DataDir/NAME.rprf (validate it with
+///                         rasccheck; see DESIGN.md §12)
 ///   entail NAME "c in V"  matched entailment query (Section 3.2)
 ///   pn NAME "c in V"      PN reachability query (Section 6.2)
 ///   stats                 print the daemon's metrics JSON
@@ -33,11 +36,15 @@
 ///                         backoff and counted, not failed.
 ///
 /// Every command retries its whole request script on a Busy response
-/// (honoring retry-after-ms), so admission-control rejections are
-/// backpressure, not errors. Protocol or server errors exit 2.
+/// or refused connect under capped exponential backoff with jitter
+/// (service/Backoff.h); the server's retry-after-ms hint floors each
+/// delay, so admission-control rejections are backpressure, not
+/// errors, and simultaneous rejects don't retry in lockstep. Protocol
+/// or server errors exit 2.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "service/Backoff.h"
 #include "service/Protocol.h"
 
 #include <algorithm>
@@ -65,22 +72,21 @@ void sleepMs(int Ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
 }
 
-int busyBackoffMs(const Frame &Busy) {
-  int Ms = std::atoi(kvGet(Busy.Body, "retry-after-ms").c_str());
-  return Ms > 0 ? Ms : 100;
-}
-
 /// Runs \p Reqs in order on one fresh connection and collects the
 /// replies. A Busy frame (or a connection refused/reset during the
 /// first exchange, which is how a Busy can be lost on a draining
-/// server) restarts the whole script after the hinted backoff, so a
-/// caller's attach+op sequence stays atomic per connection.
+/// server) restarts the whole script after a capped-exponential,
+/// jittered backoff floored by the server's retry-after-ms hint, so a
+/// caller's attach+op sequence stays atomic per connection and retry
+/// storms decorrelate. \p Seed decorrelates concurrent callers (bench
+/// shards) while keeping any single schedule deterministic.
 /// \returns false with \p Err set on a protocol/server failure.
 bool runScript(const GlobalOpts &G, const std::vector<Frame> &Reqs,
                std::vector<Frame> &Replies, std::string *Err,
                uint64_t *BusyRetries = nullptr,
                std::vector<uint64_t> *LatencyUs = nullptr,
-               int MaxAttempts = 200) {
+               int MaxAttempts = 200, uint64_t Seed = 0) {
+  Backoff B(BackoffPolicy{}, Seed ? Seed : 0x9e3779b97f4a7c15ull);
   for (int Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
     Replies.clear();
     std::string ConnErr;
@@ -90,7 +96,7 @@ bool runScript(const GlobalOpts &G, const std::vector<Frame> &Reqs,
       // queue is retryable like a Busy, just without a hint.
       if (BusyRetries)
         ++*BusyRetries;
-      sleepMs(100);
+      sleepMs(B.nextDelayMs());
       continue;
     }
     Conn C(Fd);
@@ -113,7 +119,8 @@ bool runScript(const GlobalOpts &G, const std::vector<Frame> &Reqs,
       if (R.Kind == Op::Busy) {
         if (BusyRetries)
           ++*BusyRetries;
-        sleepMs(busyBackoffMs(R));
+        sleepMs(B.nextDelayMs(
+            std::atoi(kvGet(R.Body, "retry-after-ms").c_str())));
         Restart = true;
         break;
       }
@@ -200,7 +207,9 @@ void benchWorker(const GlobalOpts &G, int Idx, int Ops, BenchShard &Out) {
   }
   std::vector<Frame> Replies;
   std::string Err;
-  if (!runScript(G, Reqs, Replies, &Err, &Out.BusyRetries, &Out.LatUs)) {
+  if (!runScript(G, Reqs, Replies, &Err, &Out.BusyRetries, &Out.LatUs,
+                 /*MaxAttempts=*/200,
+                 /*Seed=*/static_cast<uint64_t>(Idx) * 0x9e3779b9u + 1)) {
     ++Out.Errors;
     std::fprintf(stderr, "bench[%d]: %s\n", Idx, Err.c_str());
     return;
@@ -374,9 +383,14 @@ int main(int Argc, char **Argv) {
   }
   if (Cmd == "solve") {
     std::string Name = positional();
+    std::string SolveBody;
+    if (I + 1 < Argc && std::string_view(Argv[I + 1]) == "--proof") {
+      ++I;
+      SolveBody = "proof=1";
+    }
     std::vector<Frame> Replies;
     std::string Err;
-    if (!runScript(G, {{Op::Load, Name}, {Op::Solve, ""}}, Replies,
+    if (!runScript(G, {{Op::Load, Name}, {Op::Solve, SolveBody}}, Replies,
                    &Err)) {
       std::fprintf(stderr, "rascdclient: %s\n", Err.c_str());
       return 2;

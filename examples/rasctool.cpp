@@ -50,6 +50,22 @@
 ///   --certify        independently re-verify the final closure
 ///                    against the resolution rules (core/Certifier.h)
 ///
+/// Proof logging (DESIGN.md section 12):
+///
+///   --prove FILE     stream a machine-checkable derivation log to
+///                    FILE while solving (SolverOptions::ProofLogPath).
+///                    The log is self-describing — the rasccheck tool
+///                    validates it without this binary, the solver, or
+///                    the input file. Emission degrades, never aborts:
+///                    if the log cannot be written (or a retraction
+///                    invalidates already-emitted derivations) the
+///                    solve continues and the abandonment reason is
+///                    reported on stderr.
+///   --check FILE     after the run, validate FILE with the embedded
+///                    proof checker (the same verdict the standalone
+///                    rasccheck binary would give). Combine with
+///                    --prove FILE for a solve-then-verify round trip.
+///
 /// Observability (DESIGN.md section 9):
 ///
 ///   --trace FILE     record structured solver events and write a
@@ -70,7 +86,9 @@
 /// solved=0, inconsistent=1, and with --no-resume the interrupt kind:
 /// deadline=10, edge limit=11, step limit=12, memory limit=13,
 /// cancelled=14. A checkpoint that exists but cannot be restored
-/// exits 20; a failed --certify exits 21. Usage errors exit 1.
+/// exits 20; a failed --certify exits 21. A failed --check exits with
+/// the checker verdict (check/Checker.h): invalid derivation=22,
+/// malformed log=23, incomplete proof=25. Usage errors exit 1.
 ///
 /// SIGINT/SIGTERM trip a cooperative cancel flag wired as every
 /// solver's CancelFlag: the in-flight solve interrupts with Cancelled
@@ -84,6 +102,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "check/Checker.h"
 #include "core/BatchSolver.h"
 #include "core/Certifier.h"
 #include "core/Observe.h"
@@ -160,7 +179,19 @@ struct CliOptions {
   std::string CheckpointPath; // batch mode: a directory
   bool Certify = false;
   std::vector<uint32_t> Retract; // applied in order after the solve
+  std::string CheckPath;         // --check: validate this proof log
 };
+
+/// Runs the standalone proof checker on \p Path and prints its
+/// verdict; \returns the checker exit code (0/1 = valid proof).
+int checkProof(const std::string &Path) {
+  rasccheck::CheckOptions CO;
+  CO.LogPath = Path;
+  rasccheck::CheckResult R = rasccheck::checkProofLog(CO);
+  std::fprintf(R.ok() ? stdout : stderr, "rasccheck: %s: %s\n",
+               Path.c_str(), R.Message.c_str());
+  return R.ExitCode;
+}
 
 /// Runs the independent certifier and prints its verdict; \returns
 /// the process exit code (0 = certified).
@@ -270,6 +301,11 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
     }
   }
 
+  if (!Cli.Solver.ProofLogPath.empty())
+    if (const std::optional<Diag> &D = Solver.lastProofDiag())
+      std::fprintf(stderr, "%s: proof log abandoned: %s\n", Name,
+                   D->render().c_str());
+
   const SolverStats &Stats = Solver.stats();
   std::printf("%s: %llu edges, %llu compositions, %llu function "
               "constraints%s\n\n",
@@ -297,6 +333,10 @@ int run(const std::string &Source, const char *Name, CliOptions Cli) {
 
   if (Cli.Certify)
     if (int Exit = certify(Solver, Name))
+      return Exit;
+  if (!Cli.CheckPath.empty())
+    if (int Exit = checkProof(Cli.CheckPath);
+        Exit >= rasccheck::ExitInvalidDerivation)
       return Exit;
   return statusExitCode(S);
 }
@@ -478,6 +518,18 @@ int main(int Argc, char **Argv) {
     } else if (Arg == "--incremental") {
       Cli.Solver.Incremental = true;
       Cli.Solver.TrackProvenance = true;
+    } else if (Arg == "--prove") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--prove needs a file\n");
+        return 1;
+      }
+      Cli.Solver.ProofLogPath = Argv[++I];
+    } else if (Arg == "--check") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--check needs a file\n");
+        return 1;
+      }
+      Cli.CheckPath = Argv[++I];
     } else if (Arg == "--certify") {
       Cli.Certify = true;
     } else if (Arg == "--no-resume") {
@@ -490,6 +542,14 @@ int main(int Argc, char **Argv) {
     } else {
       Path = Argv[I];
     }
+  }
+
+  if (BatchDir &&
+      (!Cli.Solver.ProofLogPath.empty() || !Cli.CheckPath.empty())) {
+    // One log path cannot serve a pool of solvers writing concurrently.
+    std::fprintf(stderr,
+                 "--prove/--check apply to a single system, not --batch\n");
+    return 1;
   }
 
   // Cooperative cancellation: a signal interrupts the solve at its

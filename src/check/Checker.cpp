@@ -1,0 +1,91 @@
+//===- check/Checker.cpp - Checker entry point ----------------------------===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Checker.h"
+#include "check/Internal.h"
+
+namespace rasccheck {
+
+namespace {
+
+const char *statusName(uint8_t Code) {
+  switch (Code) {
+  case 0:
+    return "solved";
+  case 1:
+    return "inconsistent";
+  case 2:
+    return "edge-limit";
+  case 3:
+    return "step-limit";
+  case 4:
+    return "deadline";
+  case 5:
+    return "memory-limit";
+  case 6:
+    return "cancelled";
+  default:
+    return "unproven";
+  }
+}
+
+} // namespace
+
+CheckResult checkProofLog(const CheckOptions &Opts) {
+  CheckResult R;
+  LogModel M;
+  Verdict V = parseLogFile(Opts.LogPath, M);
+
+  R.Records = M.Records;
+  R.Chunks = M.Chunks;
+  R.Constraints = M.Constraints.size();
+  R.Collapses = M.Collapses.size();
+  R.FnVarConstraints = M.FnVars.size();
+  for (const LogEdge &E : M.Edges)
+    ++(E.Conflict ? R.Conflicts : R.Edges);
+
+  if (V.Code) {
+    R.ExitCode = V.Code;
+    R.Message = V.Message;
+    return R;
+  }
+
+  Algebra Alg(M);
+  VerifyCounters C;
+  int StatusExit = ExitMalformed;
+  Verdict W = verifyLog(M, Alg, C, &StatusExit);
+  R.TransitiveObligations = C.Transitive;
+  R.DecomposeObligations = C.Decompose;
+  R.ProjectionObligations = C.Projection;
+  R.SurfaceObligations = C.Surface;
+  if (W.Code) {
+    R.ExitCode = W.Code;
+    R.Message = W.Message;
+    return R;
+  }
+
+  if (!Opts.SystemPath.empty()) {
+    if (Verdict X = crossCheckSystem(M, Alg, Opts.SystemPath); X.Code) {
+      R.ExitCode = X.Code;
+      R.Message = X.Message;
+      return R;
+    }
+  }
+
+  R.ExitCode = StatusExit;
+  uint8_t Code = M.Statuses.back().Code;
+  R.Message = std::string("valid ") +
+              (Code > 1 ? "partial proof (" : "proof (") + statusName(Code) +
+              "): " + std::to_string(R.Edges) + " edges, " +
+              std::to_string(R.Conflicts) + " conflicts, " +
+              std::to_string(R.Constraints) + " constraints, " +
+              std::to_string(C.Transitive + C.Decompose + C.Projection +
+                             C.Surface) +
+              " obligations discharged";
+  return R;
+}
+
+} // namespace rasccheck

@@ -1,0 +1,304 @@
+//===- check/Internal.h - Checker internals ---------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal interfaces of the standalone checker: the little-endian
+/// byte cursor and CRC-32 (re-implemented here — the checker must not
+/// trust support/Serialize.h), the decoded log model, the annotation
+/// algebra evaluated from the header's embedded domain data, and a
+/// plain total-DFA struct shared by the log header and the --system
+/// re-compilation. Everything lives in namespace rasccheck and
+/// includes nothing outside the standard library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_CHECK_INTERNAL_H
+#define RASC_CHECK_INTERNAL_H
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rasccheck {
+
+constexpr uint32_t InvalidId = ~uint32_t(0);
+
+//===----------------------------------------------------------------------===//
+// Bytes
+//===----------------------------------------------------------------------===//
+
+/// Standard reflected CRC-32 (polynomial 0xEDB88320, zero seed) — the
+/// framing checksum of the log format.
+uint32_t crc32(const uint8_t *Data, size_t Len);
+
+/// Section tag fourcc, matching the writer's little-endian packing.
+constexpr uint32_t tag4(char A, char B, char C, char D) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(A)) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(B)) << 8) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(C)) << 16) |
+         (static_cast<uint32_t>(static_cast<uint8_t>(D)) << 24);
+}
+
+/// Bounds-checked little-endian reader. Reading past the end latches
+/// Bad and yields zeros, so record decoders can validate once at the
+/// end of each record.
+struct Cursor {
+  const uint8_t *P = nullptr;
+  size_t N = 0;
+  size_t Off = 0;
+  bool Bad = false;
+
+  Cursor(const uint8_t *P, size_t N) : P(P), N(N) {}
+
+  bool take(void *Out, size_t Len) {
+    if (Bad || Len > N - Off || Off > N) {
+      Bad = true;
+      std::memset(Out, 0, Len);
+      return false;
+    }
+    std::memcpy(Out, P + Off, Len);
+    Off += Len;
+    return true;
+  }
+  uint8_t u8() {
+    uint8_t V = 0;
+    take(&V, 1);
+    return V;
+  }
+  uint32_t u32() {
+    uint8_t B[4] = {};
+    take(B, 4);
+    return static_cast<uint32_t>(B[0]) | (static_cast<uint32_t>(B[1]) << 8) |
+           (static_cast<uint32_t>(B[2]) << 16) |
+           (static_cast<uint32_t>(B[3]) << 24);
+  }
+  uint64_t u64() {
+    uint64_t Lo = u32(), Hi = u32();
+    return Lo | (Hi << 32);
+  }
+  std::string str(size_t Len) {
+    if (Bad || Len > N - Off || Off > N) {
+      Bad = true;
+      return {};
+    }
+    std::string S(reinterpret_cast<const char *>(P + Off), Len);
+    Off += Len;
+    return S;
+  }
+  bool atEnd() const { return !Bad && Off == N; }
+};
+
+//===----------------------------------------------------------------------===//
+// Log model
+//===----------------------------------------------------------------------===//
+
+/// Record type bytes of the on-disk format (ProofLog.h, v1).
+enum RecType : uint8_t {
+  RecAnn = 0x01,
+  RecNode = 0x02,
+  RecCtor = 0x03,
+  RecVarName = 0x04,
+  RecConstraint = 0x05,
+  RecCollapse = 0x06,
+  RecEdge = 0x07,
+  RecConflict = 0x08,
+  RecFnVar = 0x09,
+  RecStatus = 0x0A,
+};
+
+/// Rule bytes of EDGE / CONFLICT records.
+enum RuleByte : uint8_t {
+  RuleSurface = 0,
+  RuleTransitive = 1,
+  RuleDecompose = 2,
+  RuleProjection = 3,
+};
+
+/// Node kind bytes (the solver's ExprKind).
+enum NodeKindByte : uint8_t {
+  KindVar = 0,
+  KindCons = 1,
+  KindProj = 2,
+};
+
+/// A plain total DFA: the header's embedded annotation machine, and
+/// the shape the --system path re-compiles specs and regexes into.
+struct OwnDfa {
+  uint32_t NumStates = 0;
+  uint32_t Start = 0;
+  std::vector<uint8_t> Accepting;       // NumStates entries
+  std::vector<std::string> Symbols;     // symbol names, id order
+  std::vector<uint32_t> Trans;          // row-major [S * numSymbols + Sym]
+
+  uint32_t next(uint32_t S, uint32_t Sym) const {
+    return Trans[static_cast<size_t>(S) * Symbols.size() + Sym];
+  }
+};
+
+struct LogPremise {
+  uint32_t Src = InvalidId, Dst = InvalidId, Ann = 0;
+  bool present() const { return Src != InvalidId; }
+};
+
+struct LogEdge {
+  uint32_t Src, Dst, Ann;
+  uint8_t Rule;
+  uint32_t CIdx;
+  LogPremise P1, P2;
+  bool Conflict;
+};
+
+struct LogConstraint {
+  uint32_t Idx, OrigL, OrigR, CanL, CanR, Ann;
+};
+
+struct LogCollapse {
+  uint32_t V, Rep;
+};
+
+struct LogFnVar {
+  uint32_t From, Fn, To;
+  LogPremise P;
+};
+
+struct LogStatus {
+  uint8_t Code;
+  uint64_t Processed, Ingested;
+};
+
+struct LogNode {
+  uint8_t Kind;
+  uint32_t C = 0, Index = 0, V = 0, Alpha = 0;
+  std::vector<uint32_t> Args;
+};
+
+struct LogAnn {
+  std::vector<uint32_t> Table; // monoid: NumStates entries
+  uint64_t Gen = 0, Kill = 0;  // gen/kill
+};
+
+/// One decoded record in stream order: type plus an index into the
+/// per-type vector below. Verification replays the stream so
+/// "defined before use" and "premise earlier in the log" are exactly
+/// positional.
+struct LogItem {
+  uint8_t Type;
+  uint32_t Index;
+};
+
+enum DomainKind : uint8_t { DomTrivial = 0, DomMonoid = 1, DomGenKill = 2 };
+
+struct LogModel {
+  bool FilterUseless = false;
+  bool CycleElimination = false;
+  uint8_t Domain = DomTrivial;
+  OwnDfa Machine;     // monoid
+  uint32_t GkBits = 0; // gen/kill
+
+  std::vector<LogItem> Stream;
+  std::vector<std::pair<uint32_t, LogAnn>> Anns;
+  std::vector<std::pair<uint32_t, LogNode>> Nodes;
+  std::vector<std::pair<uint32_t, std::pair<std::string, uint32_t>>> Ctors;
+  std::vector<std::pair<uint32_t, std::string>> Vars;
+  std::vector<LogConstraint> Constraints;
+  std::vector<LogCollapse> Collapses;
+  std::vector<LogEdge> Edges; // EDGE and CONFLICT records, stream order
+  std::vector<LogFnVar> FnVars;
+  std::vector<LogStatus> Statuses;
+
+  uint64_t Chunks = 0;
+  uint64_t Records = 0;
+  /// Bytes past the last chunk whose frame and CRC check out — a torn
+  /// tail (crash mid-write) or trailing mutation.
+  uint64_t TornBytes = 0;
+};
+
+/// Outcome of a checker stage: Code 0 means "keep going".
+struct Verdict {
+  int Code = 0;
+  std::string Message;
+  static Verdict ok() { return {}; }
+  static Verdict fail(int Code, std::string Msg) { return {Code, std::move(Msg)}; }
+};
+
+/// Decodes the file at Path into M. Container-level failures (bad
+/// magic, unknown record type, record not ending on its declared
+/// boundary) come back as ExitMalformed; an undecodable *tail* is not
+/// an error here — it sets M.TornBytes and verification decides.
+Verdict parseLogFile(const std::string &Path, LogModel &M);
+
+//===----------------------------------------------------------------------===//
+// Annotation algebra
+//===----------------------------------------------------------------------===//
+
+/// Semantic annotation values, interned by content so equality is one
+/// integer compare. Ids from the log map to value keys; conclusions
+/// are recomputed by value, never trusted from interned solver ids.
+class Algebra {
+public:
+  /// Builds the algebra from the header (computes monoid live states).
+  explicit Algebra(const LogModel &M);
+
+  uint8_t domain() const { return Dom; }
+
+  /// Interns a monoid state table; returns InvalidId if any entry is
+  /// out of state range.
+  uint32_t keyOfTable(const std::vector<uint32_t> &Table);
+  /// Interns a gen/kill pair; returns InvalidId unless canonical
+  /// (disjoint, within the declared bit width).
+  uint32_t keyOfMasks(uint64_t Gen, uint64_t Kill);
+  /// The trivial domain's single value.
+  uint32_t keyTrivial() { return 0; }
+
+  /// Key of the identity element (id state table / empty masks).
+  uint32_t identityKey();
+
+  /// Key of "First, then Then" — the value the transitive conclusion
+  /// of (a ⊆^First x), (x ⊆^Then b) carries.
+  uint32_t compose(uint32_t FirstKey, uint32_t ThenKey);
+
+  /// Mirrors the solver's useless-annotation filter: a monoid element
+  /// whose image contains no live state (no extension of any word in
+  /// the class reaches acceptance). Always false for trivial and
+  /// gen/kill, matching the solver's domain defaults.
+  bool isUseless(uint32_t Key) const;
+
+  std::string describe(uint32_t Key) const;
+
+private:
+  uint8_t Dom;
+  uint32_t NumStates = 0;
+  uint64_t Mask = 0;
+  std::vector<uint8_t> Live; // monoid, per state
+  std::vector<std::vector<uint32_t>> Tables;
+  std::map<std::vector<uint32_t>, uint32_t> TableIds;
+  std::vector<std::pair<uint64_t, uint64_t>> Pairs;
+  std::map<std::pair<uint64_t, uint64_t>, uint32_t> PairIds;
+  std::unordered_map<uint64_t, uint32_t> ComposeMemo;
+};
+
+/// Verification passes over a decoded log (Verify.cpp). Fills the
+/// counters of R and returns the final verdict; R.ExitCode is set by
+/// the caller from the verdict and the log's status trailer.
+struct VerifyCounters {
+  uint64_t Transitive = 0, Decompose = 0, Projection = 0, Surface = 0;
+};
+Verdict verifyLog(const LogModel &M, Algebra &Alg, VerifyCounters &C,
+                  int *StatusExit);
+
+/// --system cross-check (System.cpp): re-parses the .rasc file with
+/// the checker's own grammar and compares language, declarations, and
+/// constraint stream against the log. Returns ok, ExitMalformed (the
+/// checker cannot parse the file), or ExitSystemMismatch.
+Verdict crossCheckSystem(const LogModel &M, Algebra &Alg,
+                         const std::string &SystemPath);
+
+} // namespace rasccheck
+
+#endif // RASC_CHECK_INTERNAL_H

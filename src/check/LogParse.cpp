@@ -1,0 +1,367 @@
+//===- check/LogParse.cpp - Proof-log container decoding ------------------===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+//
+// Chunk-frame scanning and record decoding, from first principles.
+// The format (ProofLog.h v1): a sequence of [tag u32]["len" u64]
+// [crc u32][payload] frames, the first tagged "PRFH" carrying the
+// header (magic, version, flags, annotation-domain data), the rest
+// tagged "PRFC" carrying whole records back to back. The writer never
+// splits a record across chunks, so a CRC-valid chunk that does not
+// decode to an exact sequence of records is a forgery, not a tear —
+// tears only ever truncate the chunk *sequence*.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Checker.h"
+#include "check/Internal.h"
+
+#include <cstdio>
+
+namespace rasccheck {
+
+namespace {
+
+constexpr uint32_t HeaderTag = tag4('P', 'R', 'F', 'H');
+constexpr uint32_t RecordsTag = tag4('P', 'R', 'F', 'C');
+constexpr uint32_t Version = 1;
+
+// Hostile-input caps, mirroring the writer's own producers: state and
+// symbol counts come from compiled automata (bounded by the monoid
+// construction), names from parsed identifiers, arities from the
+// frontend's 1024 cap. Anything beyond is not a log a real solver
+// wrote.
+constexpr uint32_t MaxStates = 1u << 20;
+constexpr uint32_t MaxSymbols = 1u << 20;
+constexpr uint32_t MaxNameLen = 1u << 20;
+constexpr uint32_t MaxArgs = 1024;
+constexpr uint64_t MaxChunkLen = 1u << 30;
+
+Verdict malformed(std::string Msg) {
+  return Verdict::fail(ExitMalformed, std::move(Msg));
+}
+
+bool readFile(const std::string &Path, std::vector<uint8_t> &Out,
+              std::string &Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  if (Size < 0) {
+    std::fclose(F);
+    Err = "cannot stat '" + Path + "'";
+    return false;
+  }
+  std::fseek(F, 0, SEEK_SET);
+  Out.resize(static_cast<size_t>(Size));
+  size_t Read =
+      Out.empty() ? 0 : std::fread(Out.data(), 1, Out.size(), F);
+  std::fclose(F);
+  if (Read != Out.size()) {
+    Err = "short read from '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+Verdict parseHeader(Cursor &C, LogModel &M) {
+  char Magic[8] = {};
+  C.take(Magic, 8);
+  if (C.Bad || std::memcmp(Magic, "RASCPRF\0", 8) != 0)
+    return malformed("header: bad magic (not a proof log)");
+  uint32_t V = C.u32();
+  if (V != Version)
+    return malformed("header: unsupported version " + std::to_string(V));
+  uint8_t Flags = C.u8();
+  if (Flags & ~3u)
+    return malformed("header: unknown flag bits");
+  M.FilterUseless = (Flags & 1) != 0;
+  M.CycleElimination = (Flags & 2) != 0;
+  M.Domain = C.u8();
+  switch (M.Domain) {
+  case DomTrivial:
+    break;
+  case DomMonoid: {
+    OwnDfa &D = M.Machine;
+    D.NumStates = C.u32();
+    D.Start = C.u32();
+    uint32_t NumSymbols = C.u32();
+    if (D.NumStates == 0 || D.NumStates > MaxStates ||
+        NumSymbols > MaxSymbols || D.Start >= D.NumStates)
+      return malformed("header: automaton dimensions out of range");
+    D.Accepting.resize(D.NumStates);
+    for (uint32_t S = 0; S != D.NumStates; ++S) {
+      uint8_t A = C.u8();
+      if (A > 1)
+        return malformed("header: non-boolean accepting flag");
+      D.Accepting[S] = A;
+    }
+    D.Symbols.reserve(NumSymbols);
+    for (uint32_t S = 0; S != NumSymbols; ++S) {
+      uint32_t Len = C.u32();
+      if (Len > MaxNameLen)
+        return malformed("header: symbol name too long");
+      D.Symbols.push_back(C.str(Len));
+    }
+    D.Trans.resize(static_cast<size_t>(D.NumStates) * NumSymbols);
+    for (size_t I = 0, E = D.Trans.size(); I != E; ++I) {
+      D.Trans[I] = C.u32();
+      if (!C.Bad && D.Trans[I] >= D.NumStates)
+        return malformed("header: transition target out of range");
+    }
+    break;
+  }
+  case DomGenKill:
+    M.GkBits = C.u32();
+    if (M.GkBits == 0 || M.GkBits > 64)
+      return malformed("header: gen/kill bit width out of range");
+    break;
+  default:
+    return malformed("header: unknown annotation domain kind " +
+                     std::to_string(M.Domain));
+  }
+  if (!C.atEnd())
+    return malformed("header: payload does not match its declared layout");
+  return Verdict::ok();
+}
+
+LogPremise readPremise(Cursor &C) {
+  LogPremise P;
+  P.Src = C.u32();
+  P.Dst = C.u32();
+  P.Ann = C.u32();
+  return P;
+}
+
+/// Decodes one record starting at the cursor; appends to M. The type
+/// byte has already been consumed.
+Verdict parseRecord(uint8_t Type, Cursor &C, LogModel &M) {
+  switch (Type) {
+  case RecAnn: {
+    uint32_t Id = C.u32();
+    LogAnn A;
+    if (M.Domain == DomMonoid) {
+      A.Table.resize(M.Machine.NumStates);
+      for (uint32_t S = 0; S != M.Machine.NumStates; ++S)
+        A.Table[S] = C.u32();
+    } else if (M.Domain == DomGenKill) {
+      A.Gen = C.u64();
+      A.Kill = C.u64();
+    }
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Anns.size())});
+    M.Anns.emplace_back(Id, std::move(A));
+    break;
+  }
+  case RecNode: {
+    uint32_t Id = C.u32();
+    LogNode N;
+    N.Kind = C.u8();
+    switch (N.Kind) {
+    case KindVar:
+      N.V = C.u32();
+      break;
+    case KindCons: {
+      N.C = C.u32();
+      N.Alpha = C.u32();
+      uint32_t NumArgs = C.u32();
+      if (NumArgs > MaxArgs)
+        return malformed("NODE: too many constructor arguments");
+      N.Args.resize(NumArgs);
+      for (uint32_t I = 0; I != NumArgs; ++I)
+        N.Args[I] = C.u32();
+      break;
+    }
+    case KindProj:
+      N.C = C.u32();
+      N.Index = C.u32();
+      N.V = C.u32();
+      break;
+    default:
+      return malformed("NODE: unknown expression kind " +
+                       std::to_string(N.Kind));
+    }
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Nodes.size())});
+    M.Nodes.emplace_back(Id, std::move(N));
+    break;
+  }
+  case RecCtor: {
+    uint32_t Id = C.u32();
+    uint32_t Arity = C.u32();
+    if (Arity > MaxArgs)
+      return malformed("CTOR: arity too large");
+    uint32_t Len = C.u32();
+    if (Len > MaxNameLen)
+      return malformed("CTOR: name too long");
+    std::string Name = C.str(Len);
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Ctors.size())});
+    M.Ctors.emplace_back(Id, std::make_pair(std::move(Name), Arity));
+    break;
+  }
+  case RecVarName: {
+    uint32_t Id = C.u32();
+    uint32_t Len = C.u32();
+    if (Len > MaxNameLen)
+      return malformed("VARN: name too long");
+    std::string Name = C.str(Len);
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Vars.size())});
+    M.Vars.emplace_back(Id, std::move(Name));
+    break;
+  }
+  case RecConstraint: {
+    LogConstraint K;
+    K.Idx = C.u32();
+    K.OrigL = C.u32();
+    K.OrigR = C.u32();
+    K.CanL = C.u32();
+    K.CanR = C.u32();
+    K.Ann = C.u32();
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Constraints.size())});
+    M.Constraints.push_back(K);
+    break;
+  }
+  case RecCollapse: {
+    LogCollapse K;
+    K.V = C.u32();
+    K.Rep = C.u32();
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Collapses.size())});
+    M.Collapses.push_back(K);
+    break;
+  }
+  case RecEdge:
+  case RecConflict: {
+    LogEdge E;
+    E.Src = C.u32();
+    E.Dst = C.u32();
+    E.Ann = C.u32();
+    E.Rule = C.u8();
+    E.CIdx = C.u32();
+    E.P1 = readPremise(C);
+    E.P2 = readPremise(C);
+    E.Conflict = Type == RecConflict;
+    if (E.Rule > RuleProjection)
+      return malformed("EDGE: unknown rule byte " + std::to_string(E.Rule));
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Edges.size())});
+    M.Edges.push_back(std::move(E));
+    break;
+  }
+  case RecFnVar: {
+    LogFnVar F;
+    F.From = C.u32();
+    F.Fn = C.u32();
+    F.To = C.u32();
+    F.P = readPremise(C);
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.FnVars.size())});
+    M.FnVars.push_back(F);
+    break;
+  }
+  case RecStatus: {
+    LogStatus S;
+    S.Code = C.u8();
+    S.Processed = C.u64();
+    S.Ingested = C.u64();
+    if (S.Code > 7)
+      return malformed("STATUS: unknown status code " +
+                       std::to_string(S.Code));
+    M.Stream.push_back({Type, static_cast<uint32_t>(M.Statuses.size())});
+    M.Statuses.push_back(S);
+    break;
+  }
+  default:
+    return malformed("unknown record type 0x" + std::to_string(Type));
+  }
+  if (C.Bad)
+    return malformed("record 0x" + std::to_string(Type) +
+                     " truncated inside a CRC-valid chunk");
+  ++M.Records;
+  return Verdict::ok();
+}
+
+} // namespace
+
+Verdict parseLogFile(const std::string &Path, LogModel &M) {
+  std::vector<uint8_t> Bytes;
+  std::string Err;
+  if (!readFile(Path, Bytes, Err))
+    return malformed(std::move(Err));
+
+  // Frame scan: stop at the first frame whose tag, length, bounds, or
+  // CRC fails — everything from there on is a torn tail, recorded in
+  // TornBytes and judged by verification (an empty or fully garbage
+  // file is "no header", below).
+  size_t Pos = 0;
+  bool SawHeader = false;
+  while (true) {
+    if (Bytes.size() - Pos < 16)
+      break;
+    Cursor F(Bytes.data() + Pos, 16);
+    uint32_t Tag = F.u32();
+    uint64_t Len = F.u64();
+    uint32_t Crc = F.u32();
+    if ((Tag != HeaderTag && Tag != RecordsTag) || Len > MaxChunkLen ||
+        Len > Bytes.size() - Pos - 16)
+      break;
+    const uint8_t *Payload = Bytes.data() + Pos + 16;
+    if (crc32(Payload, static_cast<size_t>(Len)) != Crc)
+      break;
+
+    if (!SawHeader) {
+      if (Tag != HeaderTag)
+        return malformed("first chunk is not a header");
+      Cursor C(Payload, static_cast<size_t>(Len));
+      if (Verdict V = parseHeader(C, M); V.Code != 0)
+        return V;
+      SawHeader = true;
+    } else {
+      if (Tag != RecordsTag)
+        return malformed("duplicate header chunk");
+      if (Len == 0)
+        return malformed("empty record chunk");
+      Cursor C(Payload, static_cast<size_t>(Len));
+      while (!C.atEnd()) {
+        uint8_t Type = C.u8();
+        if (C.Bad)
+          return malformed("record chunk ends mid-record");
+        if (Verdict V = parseRecord(Type, C, M); V.Code != 0)
+          return V;
+      }
+    }
+    ++M.Chunks;
+    Pos += 16 + static_cast<size_t>(Len);
+  }
+
+  M.TornBytes = Bytes.size() - Pos;
+  if (!SawHeader)
+    return Verdict::fail(ExitIncomplete,
+                         Bytes.empty()
+                             ? "empty log (no header chunk survived)"
+                             : "no decodable header chunk");
+  return Verdict::ok();
+}
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+uint32_t crc32(const uint8_t *Data, size_t Len) {
+  static const auto Table = [] {
+    std::vector<uint32_t> T(256);
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C & 1) ? (0xEDB88320u ^ (C >> 1)) : (C >> 1);
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I != Len; ++I)
+    C = Table[(C ^ Data[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+} // namespace rasccheck

@@ -1,0 +1,1158 @@
+//===- check/System.cpp - --system cross-check ----------------------------===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+//
+// Re-derives the constraint system from the .rasc file the log claims
+// to prove, with the checker's own frontends: a mirror of the .rasc
+// grammar (frontend/ConstraintParser.cpp), of the automaton
+// specification language (spec/SpecParser.cpp), and of the regex
+// frontend (automata/RegexParser.cpp — Thompson construction plus
+// subset construction; minimization is unnecessary because languages
+// are compared by product reachability, not state count). The log
+// must then agree with the file on:
+//
+//   - the annotation language: same alphabet (by name) and the same
+//     regular language, checked by a BFS over the product of the
+//     re-compiled DFA and the log's embedded machine;
+//   - every declared name the log mentions: variable and constructor
+//     records must match the file's declarations by id (declaration
+//     order *is* the solver's id order);
+//   - the constraint stream: the trailer's ingested count equals the
+//     file's constraint count, exactly the non-retracted indices are
+//     recorded, and each record's original sides and annotation
+//     (identity, or a symbol's transition column of the embedded
+//     machine) structurally match the file's statement.
+//
+// Any divergence is ExitSystemMismatch; a file this mirror cannot
+// parse is ExitMalformed (the genuine frontend would reject it too,
+// so no honest log exists for it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Checker.h"
+#include "check/Internal.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace rasccheck {
+
+namespace {
+
+Verdict mismatch(std::string Msg) {
+  return Verdict::fail(ExitSystemMismatch, "system mismatch: " + std::move(Msg));
+}
+Verdict badFile(std::string Msg) {
+  return Verdict::fail(ExitMalformed, "system file: " + std::move(Msg));
+}
+
+//===----------------------------------------------------------------------===//
+// Specification-language mirror
+//===----------------------------------------------------------------------===//
+
+struct SpecArm {
+  std::string Symbol;
+  std::vector<std::string> Params;
+  std::string Target;
+};
+
+struct SpecState {
+  std::string Name;
+  bool IsStart = false, IsAccept = false;
+  std::vector<SpecArm> Arms;
+};
+
+/// Tokenizer of the spec language: identifiers, ':', ';', '|', '->',
+/// '(', ')', ',', '#' comments.
+class SpecLexer {
+public:
+  enum Kind { Ident, Colon, Semi, Pipe, Arrow, LParen, RParen, Comma, End, Bad };
+  struct Token {
+    Kind K;
+    std::string Text;
+  };
+
+  explicit SpecLexer(const std::string &In) : In(In) {}
+
+  Token next() {
+    while (Pos < In.size()) {
+      char C = In[Pos];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '#') {
+        while (Pos < In.size() && In[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+    if (Pos >= In.size())
+      return {End, ""};
+    char C = In[Pos];
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < In.size() &&
+             (std::isalnum(static_cast<unsigned char>(In[Pos])) ||
+              In[Pos] == '_'))
+        ++Pos;
+      return {Ident, In.substr(Start, Pos - Start)};
+    }
+    switch (C) {
+    case ':':
+      ++Pos;
+      return {Colon, ":"};
+    case ';':
+      ++Pos;
+      return {Semi, ";"};
+    case '|':
+      ++Pos;
+      return {Pipe, "|"};
+    case '(':
+      ++Pos;
+      return {LParen, "("};
+    case ')':
+      ++Pos;
+      return {RParen, ")"};
+    case ',':
+      ++Pos;
+      return {Comma, ","};
+    case '-':
+      if (Pos + 1 < In.size() && In[Pos + 1] == '>') {
+        Pos += 2;
+        return {Arrow, "->"};
+      }
+      break;
+    default:
+      break;
+    }
+    return {Bad, std::string(1, C)};
+  }
+
+private:
+  const std::string &In;
+  size_t Pos = 0;
+};
+
+bool parseSpecText(const std::string &Text, OwnDfa &Out, std::string &Err) {
+  SpecLexer Lex(Text);
+  SpecLexer::Token Tok = Lex.next();
+  auto advance = [&] { Tok = Lex.next(); };
+
+  std::vector<SpecState> States;
+  std::vector<std::string> ExtraSymbols;
+  while (Tok.K != SpecLexer::End) {
+    if (Tok.K != SpecLexer::Ident) {
+      Err = "expected declaration";
+      return false;
+    }
+    if (Tok.Text == "symbols") {
+      advance();
+      while (true) {
+        if (Tok.K != SpecLexer::Ident) {
+          Err = "expected symbol name";
+          return false;
+        }
+        ExtraSymbols.push_back(Tok.Text);
+        advance();
+        if (Tok.K == SpecLexer::Comma) {
+          advance();
+          continue;
+        }
+        break;
+      }
+      if (Tok.K != SpecLexer::Semi) {
+        Err = "expected ';'";
+        return false;
+      }
+      advance();
+      continue;
+    }
+    SpecState D;
+    while (Tok.K == SpecLexer::Ident &&
+           (Tok.Text == "start" || Tok.Text == "accept")) {
+      (Tok.Text == "start" ? D.IsStart : D.IsAccept) = true;
+      advance();
+    }
+    if (Tok.K != SpecLexer::Ident || Tok.Text != "state") {
+      Err = "expected 'state'";
+      return false;
+    }
+    advance();
+    if (Tok.K != SpecLexer::Ident) {
+      Err = "expected state name";
+      return false;
+    }
+    D.Name = Tok.Text;
+    advance();
+    if (Tok.K == SpecLexer::Semi) {
+      advance();
+      States.push_back(std::move(D));
+      continue;
+    }
+    if (Tok.K != SpecLexer::Colon) {
+      Err = "expected ':' or ';'";
+      return false;
+    }
+    advance();
+    while (Tok.K == SpecLexer::Pipe) {
+      advance();
+      SpecArm A;
+      if (Tok.K != SpecLexer::Ident) {
+        Err = "expected symbol name";
+        return false;
+      }
+      A.Symbol = Tok.Text;
+      advance();
+      if (Tok.K == SpecLexer::LParen) {
+        advance();
+        while (true) {
+          if (Tok.K != SpecLexer::Ident) {
+            Err = "expected parameter name";
+            return false;
+          }
+          A.Params.push_back(Tok.Text);
+          advance();
+          if (Tok.K == SpecLexer::Comma) {
+            advance();
+            continue;
+          }
+          break;
+        }
+        if (Tok.K != SpecLexer::RParen) {
+          Err = "expected ')'";
+          return false;
+        }
+        advance();
+      }
+      if (Tok.K != SpecLexer::Arrow) {
+        Err = "expected '->'";
+        return false;
+      }
+      advance();
+      if (Tok.K != SpecLexer::Ident) {
+        Err = "expected target state name";
+        return false;
+      }
+      A.Target = Tok.Text;
+      advance();
+      D.Arms.push_back(std::move(A));
+    }
+    if (Tok.K != SpecLexer::Semi) {
+      Err = "expected ';'";
+      return false;
+    }
+    advance();
+    States.push_back(std::move(D));
+  }
+
+  if (States.empty()) {
+    Err = "specification declares no states";
+    return false;
+  }
+  std::map<std::string, uint32_t> StateIds;
+  for (const SpecState &D : States) {
+    if (!StateIds.emplace(D.Name, static_cast<uint32_t>(StateIds.size()))
+             .second) {
+      Err = "duplicate state '" + D.Name + "'";
+      return false;
+    }
+  }
+  std::vector<std::string> Symbols;
+  std::vector<std::vector<std::string>> SymParams;
+  auto symbolOf = [&](const std::string &Name,
+                      const std::vector<std::string> &Params,
+                      std::string &E) -> std::optional<uint32_t> {
+    for (uint32_t I = 0, N = static_cast<uint32_t>(Symbols.size()); I != N;
+         ++I)
+      if (Symbols[I] == Name) {
+        if (SymParams[I] != Params) {
+          E = "symbol '" + Name + "' used with inconsistent parameters";
+          return std::nullopt;
+        }
+        return I;
+      }
+    Symbols.push_back(Name);
+    SymParams.push_back(Params);
+    return static_cast<uint32_t>(Symbols.size() - 1);
+  };
+  for (const std::string &S : ExtraSymbols)
+    if (!symbolOf(S, {}, Err))
+      return false;
+
+  uint32_t N = static_cast<uint32_t>(States.size());
+  bool HaveStart = false, HaveAccept = false;
+  uint32_t Start = 0;
+  // (state, symbol) -> target; InvalidId = unset, routed to the
+  // implicit dead sink like DfaBuilder::build.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> Trans;
+  for (const SpecState &D : States) {
+    uint32_t S = StateIds[D.Name];
+    if (D.IsStart) {
+      if (HaveStart) {
+        Err = "multiple start states ('" + D.Name + "')";
+        return false;
+      }
+      Start = S;
+      HaveStart = true;
+    }
+    HaveAccept |= D.IsAccept;
+    for (const SpecArm &A : D.Arms) {
+      auto TIt = StateIds.find(A.Target);
+      if (TIt == StateIds.end()) {
+        Err = "unknown target state '" + A.Target + "'";
+        return false;
+      }
+      auto Sym = symbolOf(A.Symbol, A.Params, Err);
+      if (!Sym)
+        return false;
+      if (!Trans.emplace(std::make_pair(S, *Sym), TIt->second).second) {
+        Err = "duplicate transition on '" + A.Symbol + "' from state '" +
+              D.Name + "'";
+        return false;
+      }
+    }
+  }
+  if (!HaveStart) {
+    Err = "no start state declared";
+    return false;
+  }
+  if (!HaveAccept) {
+    Err = "no accept state declared";
+    return false;
+  }
+
+  uint32_t NumSyms = static_cast<uint32_t>(Symbols.size());
+  bool NeedDead = Trans.size() != static_cast<size_t>(N) * NumSyms;
+  uint32_t Total = N + (NeedDead ? 1 : 0);
+  Out.NumStates = Total;
+  Out.Start = Start;
+  Out.Symbols = Symbols;
+  Out.Accepting.assign(Total, 0);
+  for (const SpecState &D : States)
+    if (D.IsAccept)
+      Out.Accepting[StateIds[D.Name]] = 1;
+  Out.Trans.assign(static_cast<size_t>(Total) * NumSyms, N /*dead*/);
+  for (const auto &[Key, To] : Trans)
+    Out.Trans[static_cast<size_t>(Key.first) * NumSyms + Key.second] = To;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Regex mirror: Thompson NFA + subset construction
+//===----------------------------------------------------------------------===//
+
+struct OwnNfa {
+  std::vector<std::vector<uint32_t>> Eps;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> Sym; // (symbol, to)
+  std::vector<std::string> Symbols;
+
+  uint32_t addState() {
+    Eps.emplace_back();
+    Sym.emplace_back();
+    return static_cast<uint32_t>(Eps.size() - 1);
+  }
+  uint32_t symbolOf(const std::string &Name) {
+    for (uint32_t I = 0, N = static_cast<uint32_t>(Symbols.size()); I != N;
+         ++I)
+      if (Symbols[I] == Name)
+        return I;
+    Symbols.push_back(Name);
+    return static_cast<uint32_t>(Symbols.size() - 1);
+  }
+};
+
+/// Recursive-descent Thompson builder mirroring the regex grammar:
+/// alt ::= cat ('|' cat)*, cat ::= rep+, rep ::= atom ('*'|'+'|'?')*,
+/// atom ::= IDENT | '(' alt ')' | '%eps'. Same hostile-input caps.
+class RegexCompiler {
+public:
+  RegexCompiler(const std::string &In, OwnNfa &N) : In(In), N(N) {}
+
+  bool compile(uint32_t &Start, uint32_t &Accept, std::string &E) {
+    if (In.size() > (1u << 20)) {
+      E = "regex pattern too large";
+      return false;
+    }
+    auto Frag = parseAlt(E);
+    if (!Frag)
+      return false;
+    skipSpace();
+    if (Pos != In.size()) {
+      E = "unexpected trailing input";
+      return false;
+    }
+    Start = Frag->first;
+    Accept = Frag->second;
+    return true;
+  }
+
+private:
+  using Frag = std::pair<uint32_t, uint32_t>;
+
+  void skipSpace() {
+    while (Pos < In.size() &&
+           std::isspace(static_cast<unsigned char>(In[Pos])))
+      ++Pos;
+  }
+  bool atAtomStart() {
+    skipSpace();
+    if (Pos >= In.size())
+      return false;
+    char C = In[Pos];
+    return C == '(' || C == '%' || C == '_' ||
+           std::isalnum(static_cast<unsigned char>(C));
+  }
+
+  std::optional<Frag> parseAlt(std::string &E) {
+    auto L = parseCat(E);
+    if (!L)
+      return std::nullopt;
+    skipSpace();
+    while (Pos < In.size() && In[Pos] == '|') {
+      ++Pos;
+      auto R = parseCat(E);
+      if (!R)
+        return std::nullopt;
+      uint32_t S = N.addState(), A = N.addState();
+      N.Eps[S].push_back(L->first);
+      N.Eps[S].push_back(R->first);
+      N.Eps[L->second].push_back(A);
+      N.Eps[R->second].push_back(A);
+      L = Frag{S, A};
+      skipSpace();
+    }
+    return L;
+  }
+
+  std::optional<Frag> parseCat(std::string &E) {
+    auto L = parseRep(E);
+    if (!L)
+      return std::nullopt;
+    while (atAtomStart()) {
+      auto R = parseRep(E);
+      if (!R)
+        return std::nullopt;
+      N.Eps[L->second].push_back(R->first);
+      L = Frag{L->first, R->second};
+    }
+    return L;
+  }
+
+  std::optional<Frag> parseRep(std::string &E) {
+    auto A = parseAtom(E);
+    if (!A)
+      return std::nullopt;
+    skipSpace();
+    while (Pos < In.size() &&
+           (In[Pos] == '*' || In[Pos] == '+' || In[Pos] == '?')) {
+      char Op = In[Pos++];
+      uint32_t S = N.addState(), X = N.addState();
+      N.Eps[S].push_back(A->first);
+      N.Eps[A->second].push_back(X);
+      if (Op == '*' || Op == '?')
+        N.Eps[S].push_back(X);
+      if (Op == '*' || Op == '+')
+        N.Eps[A->second].push_back(A->first);
+      A = Frag{S, X};
+      skipSpace();
+    }
+    return A;
+  }
+
+  std::optional<Frag> parseAtom(std::string &E) {
+    skipSpace();
+    if (Pos >= In.size()) {
+      E = "expected symbol, '(' or '%eps'";
+      return std::nullopt;
+    }
+    char C = In[Pos];
+    if (C == '(') {
+      if (Depth >= 500) {
+        E = "regex nesting too deep";
+        return std::nullopt;
+      }
+      ++Depth;
+      ++Pos;
+      auto R = parseAlt(E);
+      --Depth;
+      if (!R)
+        return std::nullopt;
+      skipSpace();
+      if (Pos >= In.size() || In[Pos] != ')') {
+        E = "expected ')'";
+        return std::nullopt;
+      }
+      ++Pos;
+      return R;
+    }
+    if (C == '%') {
+      if (In.substr(Pos, 4) == "%eps") {
+        Pos += 4;
+        uint32_t S = N.addState(), A = N.addState();
+        N.Eps[S].push_back(A);
+        return Frag{S, A};
+      }
+      E = "unknown escape; only %eps is recognized";
+      return std::nullopt;
+    }
+    if (std::isalnum(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < In.size() &&
+             (std::isalnum(static_cast<unsigned char>(In[Pos])) ||
+              In[Pos] == '_'))
+        ++Pos;
+      uint32_t Sym = N.symbolOf(In.substr(Start, Pos - Start));
+      uint32_t S = N.addState(), A = N.addState();
+      N.Sym[S].emplace_back(Sym, A);
+      return Frag{S, A};
+    }
+    E = "unexpected character";
+    return std::nullopt;
+  }
+
+  const std::string &In;
+  OwnNfa &N;
+  size_t Pos = 0;
+  unsigned Depth = 0;
+};
+
+bool compileRegexMirror(const std::string &Pattern, OwnDfa &Out,
+                        std::string &Err) {
+  OwnNfa N;
+  uint32_t Start = 0, Accept = 0;
+  RegexCompiler RC(Pattern, N);
+  if (!RC.compile(Start, Accept, Err))
+    return false;
+
+  // Subset construction over epsilon closures. The empty subset is the
+  // (rejecting) sink, giving a total automaton; no minimization — the
+  // equivalence check below is insensitive to state count.
+  auto closure = [&](std::vector<uint32_t> Set) {
+    std::vector<uint32_t> Work = Set;
+    std::set<uint32_t> Seen(Set.begin(), Set.end());
+    while (!Work.empty()) {
+      uint32_t S = Work.back();
+      Work.pop_back();
+      for (uint32_t T : N.Eps[S])
+        if (Seen.insert(T).second)
+          Work.push_back(T);
+    }
+    return std::vector<uint32_t>(Seen.begin(), Seen.end());
+  };
+
+  std::map<std::vector<uint32_t>, uint32_t> Ids;
+  std::vector<std::vector<uint32_t>> Sets;
+  auto stateOf = [&](std::vector<uint32_t> Set) {
+    auto [It, Fresh] = Ids.emplace(Set, static_cast<uint32_t>(Sets.size()));
+    if (Fresh)
+      Sets.push_back(std::move(Set));
+    return It->second;
+  };
+
+  uint32_t NumSyms = static_cast<uint32_t>(N.Symbols.size());
+  uint32_t S0 = stateOf(closure({Start}));
+  Out.Trans.clear();
+  for (uint32_t S = 0; S != Sets.size(); ++S) {
+    for (uint32_t Y = 0; Y != NumSyms; ++Y) {
+      std::vector<uint32_t> Next;
+      for (uint32_t Q : Sets[S])
+        for (auto [Sym, To] : N.Sym[Q])
+          if (Sym == Y)
+            Next.push_back(To);
+      Out.Trans.push_back(stateOf(closure(std::move(Next))));
+    }
+  }
+  Out.NumStates = static_cast<uint32_t>(Sets.size());
+  Out.Start = S0;
+  Out.Symbols = N.Symbols;
+  Out.Accepting.assign(Out.NumStates, 0);
+  for (uint32_t S = 0; S != Out.NumStates; ++S)
+    Out.Accepting[S] =
+        std::binary_search(Sets[S].begin(), Sets[S].end(), Accept);
+  // Trans was built while Sets grew; rows for late-discovered states
+  // were appended in the same loop, so the table is already complete
+  // and row-major over the final state count.
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// .rasc grammar mirror
+//===----------------------------------------------------------------------===//
+
+struct ParsedSide {
+  uint8_t Kind = KindVar; // NodeKindByte
+  uint32_t V = 0, C = 0, Index = 0;
+  std::vector<uint32_t> Args;
+};
+
+struct ParsedConstraint {
+  ParsedSide L, R;
+  std::string AnnSym; // empty = identity
+};
+
+struct ParsedSystem {
+  OwnDfa Lang;
+  std::vector<std::string> Vars;                      // id = decl order
+  std::vector<std::pair<std::string, uint32_t>> Ctors; // name, arity
+  std::vector<ParsedConstraint> Constraints;
+  std::set<uint32_t> Retracted;
+};
+
+class RascParser {
+public:
+  RascParser(const std::string &In, ParsedSystem &P) : In(In), P(P) {}
+
+  bool parse(std::string &E) {
+    if (!parseLanguage(E))
+      return false;
+    while (true) {
+      skipTrivia();
+      if (Pos >= In.size())
+        return true;
+      if (!parseStatement(E))
+        return false;
+    }
+  }
+
+private:
+  void skipTrivia() {
+    while (Pos < In.size()) {
+      char C = In[Pos];
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '#') {
+        while (Pos < In.size() && In[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+  bool peekIs(char C) {
+    skipTrivia();
+    return Pos < In.size() && In[Pos] == C;
+  }
+  bool eat(char C, std::string &E) {
+    if (peekIs(C)) {
+      ++Pos;
+      return true;
+    }
+    E = std::string("expected '") + C + "'";
+    return false;
+  }
+  std::optional<std::string> ident(std::string &E) {
+    skipTrivia();
+    if (Pos >= In.size() ||
+        !(std::isalpha(static_cast<unsigned char>(In[Pos])) ||
+          In[Pos] == '_')) {
+      E = "expected identifier";
+      return std::nullopt;
+    }
+    size_t Start = Pos;
+    while (Pos < In.size() &&
+           (std::isalnum(static_cast<unsigned char>(In[Pos])) ||
+            In[Pos] == '_'))
+      ++Pos;
+    return In.substr(Start, Pos - Start);
+  }
+  std::optional<unsigned> number(std::string &E) {
+    skipTrivia();
+    if (Pos >= In.size() ||
+        !std::isdigit(static_cast<unsigned char>(In[Pos]))) {
+      E = "expected number";
+      return std::nullopt;
+    }
+    constexpr unsigned Max = 1u << 20;
+    unsigned N = 0;
+    while (Pos < In.size() &&
+           std::isdigit(static_cast<unsigned char>(In[Pos]))) {
+      N = N * 10 + static_cast<unsigned>(In[Pos++] - '0');
+      if (N > Max) {
+        E = "number too large";
+        return std::nullopt;
+      }
+    }
+    return N;
+  }
+
+  bool parseLanguage(std::string &E) {
+    auto Kw = ident(E);
+    if (!Kw || *Kw != "language") {
+      E = "constraint files start with a 'language' block";
+      return false;
+    }
+    skipTrivia();
+    if (peekIs('{')) {
+      ++Pos;
+      size_t Start = Pos;
+      int Depth = 1;
+      while (Pos < In.size() && Depth != 0) {
+        if (In[Pos] == '{')
+          ++Depth;
+        else if (In[Pos] == '}')
+          --Depth;
+        ++Pos;
+      }
+      if (Depth != 0) {
+        E = "unterminated language block";
+        return false;
+      }
+      std::string Text = In.substr(Start, Pos - 1 - Start);
+      return parseSpecText(Text, P.Lang, E);
+    }
+    auto Sub = ident(E);
+    if (!Sub || *Sub != "regex") {
+      E = "expected '{' or 'regex' after 'language'";
+      return false;
+    }
+    skipTrivia();
+    if (Pos >= In.size() || In[Pos] != '"') {
+      E = "expected a quoted regex";
+      return false;
+    }
+    ++Pos;
+    size_t Start = Pos;
+    while (Pos < In.size() && In[Pos] != '"')
+      ++Pos;
+    if (Pos >= In.size()) {
+      E = "unterminated regex string";
+      return false;
+    }
+    std::string Pattern = In.substr(Start, Pos - Start);
+    ++Pos;
+    return compileRegexMirror(Pattern, P.Lang, E) && eat(';', E);
+  }
+
+  std::optional<uint32_t> varByName(const std::string &Name) {
+    for (uint32_t I = 0, N = static_cast<uint32_t>(P.Vars.size()); I != N;
+         ++I)
+      if (P.Vars[I] == Name)
+        return I;
+    return std::nullopt;
+  }
+  std::optional<uint32_t> ctorByName(const std::string &Name) {
+    for (uint32_t I = 0, N = static_cast<uint32_t>(P.Ctors.size()); I != N;
+         ++I)
+      if (P.Ctors[I].first == Name)
+        return I;
+    return std::nullopt;
+  }
+  bool isDeclared(const std::string &Name) {
+    return varByName(Name) || ctorByName(Name);
+  }
+
+  std::optional<ParsedSide> parseSide(std::string &E) {
+    auto Name = ident(E);
+    if (!Name)
+      return std::nullopt;
+    ParsedSide S;
+    if (auto V = varByName(*Name)) {
+      S.Kind = KindVar;
+      S.V = *V;
+      return S;
+    }
+    auto C = ctorByName(*Name);
+    if (!C) {
+      E = "unknown constructor '" + *Name + "'";
+      return std::nullopt;
+    }
+    S.Kind = KindCons;
+    S.C = *C;
+    if (peekIs('(')) {
+      ++Pos;
+      while (true) {
+        auto ArgName = ident(E);
+        if (!ArgName)
+          return std::nullopt;
+        auto V = varByName(*ArgName);
+        if (!V) {
+          E = "unknown variable '" + *ArgName + "'";
+          return std::nullopt;
+        }
+        S.Args.push_back(*V);
+        if (peekIs(',')) {
+          ++Pos;
+          continue;
+        }
+        break;
+      }
+      if (!eat(')', E))
+        return std::nullopt;
+    }
+    if (S.Args.size() != P.Ctors[*C].second) {
+      E = "constructor '" + *Name + "' arity mismatch";
+      return std::nullopt;
+    }
+    return S;
+  }
+
+  /// "[sym]" or nothing (identity). Returns false on error; sets Sym.
+  bool parseAnnotation(std::string &Sym, std::string &E) {
+    Sym.clear();
+    if (!peekIs('['))
+      return true;
+    ++Pos;
+    auto Name = ident(E);
+    if (!Name)
+      return false;
+    bool Known = false;
+    for (const std::string &S : P.Lang.Symbols)
+      Known |= S == *Name;
+    if (!Known) {
+      E = "'" + *Name + "' is not a symbol of the annotation language";
+      return false;
+    }
+    Sym = *Name;
+    return eat(']', E);
+  }
+
+  bool expectLeq(std::string &E) {
+    skipTrivia();
+    if (Pos + 1 < In.size() && In[Pos] == '<' && In[Pos + 1] == '=') {
+      Pos += 2;
+      return true;
+    }
+    E = "expected '<='";
+    return false;
+  }
+
+  bool parseStatement(std::string &E) {
+    size_t Save = Pos;
+    auto Kw = ident(E);
+    if (!Kw)
+      return false;
+
+    if (*Kw == "var") {
+      while (true) {
+        auto Name = ident(E);
+        if (!Name)
+          return false;
+        if (isDeclared(*Name)) {
+          E = "'" + *Name + "' is already declared";
+          return false;
+        }
+        P.Vars.push_back(*Name);
+        if (peekIs(';')) {
+          ++Pos;
+          return true;
+        }
+      }
+    }
+    if (*Kw == "constant" || *Kw == "constructor") {
+      auto Name = ident(E);
+      if (!Name)
+        return false;
+      if (isDeclared(*Name)) {
+        E = "'" + *Name + "' is already declared";
+        return false;
+      }
+      uint32_t Arity = 0;
+      if (*Kw == "constructor") {
+        auto N = number(E);
+        if (!N)
+          return false;
+        if (*N > 1024) {
+          E = "constructor arity too large";
+          return false;
+        }
+        Arity = *N;
+      }
+      P.Ctors.emplace_back(*Name, Arity);
+      return eat(';', E);
+    }
+    if (*Kw == "proj") {
+      auto ConsName = ident(E);
+      if (!ConsName)
+        return false;
+      auto C = ctorByName(*ConsName);
+      if (!C) {
+        E = "unknown constructor '" + *ConsName + "'";
+        return false;
+      }
+      auto Index = number(E);
+      if (!Index)
+        return false;
+      if (*Index < 1 || *Index > P.Ctors[*C].second) {
+        E = "projection index out of range";
+        return false;
+      }
+      auto SubjName = ident(E);
+      if (!SubjName)
+        return false;
+      auto Subject = varByName(*SubjName);
+      if (!Subject) {
+        E = "unknown variable '" + *SubjName + "'";
+        return false;
+      }
+      if (!expectLeq(E))
+        return false;
+      ParsedConstraint K;
+      if (!parseAnnotation(K.AnnSym, E))
+        return false;
+      auto TargetName = ident(E);
+      if (!TargetName)
+        return false;
+      auto Target = varByName(*TargetName);
+      if (!Target) {
+        E = "unknown variable '" + *TargetName + "'";
+        return false;
+      }
+      K.L.Kind = KindProj;
+      K.L.C = *C;
+      K.L.Index = *Index - 1;
+      K.L.V = *Subject;
+      K.R.Kind = KindVar;
+      K.R.V = *Target;
+      P.Constraints.push_back(std::move(K));
+      return eat(';', E);
+    }
+    if (*Kw == "query") {
+      auto Next = ident(E);
+      if (!Next)
+        return false;
+      if (*Next == "pn") {
+        Next = ident(E);
+        if (!Next)
+          return false;
+      }
+      auto C = ctorByName(*Next);
+      if (!C) {
+        E = "unknown constructor '" + *Next + "'";
+        return false;
+      }
+      if (P.Ctors[*C].second != 0) {
+        E = "queries are about constants";
+        return false;
+      }
+      auto InKw = ident(E);
+      if (!InKw || *InKw != "in") {
+        E = "expected 'in'";
+        return false;
+      }
+      auto VarName = ident(E);
+      if (!VarName)
+        return false;
+      if (!varByName(*VarName)) {
+        E = "unknown variable '" + *VarName + "'";
+        return false;
+      }
+      return eat(';', E);
+    }
+    if (*Kw == "retract") {
+      auto N = number(E);
+      if (!N)
+        return false;
+      if (*N >= P.Constraints.size()) {
+        E = "retract: constraint index out of range";
+        return false;
+      }
+      if (!P.Retracted.insert(*N).second) {
+        E = "retract: constraint is already retracted";
+        return false;
+      }
+      return eat(';', E);
+    }
+
+    // A plain constraint "side <= [ann] side;".
+    Pos = Save;
+    auto Lhs = parseSide(E);
+    if (!Lhs)
+      return false;
+    if (!expectLeq(E))
+      return false;
+    ParsedConstraint K;
+    if (!parseAnnotation(K.AnnSym, E))
+      return false;
+    auto Rhs = parseSide(E);
+    if (!Rhs)
+      return false;
+    if (Lhs->Kind == KindCons && Rhs->Kind == KindCons && Lhs->C != Rhs->C) {
+      E = "constructor mismatch is trivially inconsistent";
+      return false;
+    }
+    K.L = std::move(*Lhs);
+    K.R = std::move(*Rhs);
+    P.Constraints.push_back(std::move(K));
+    return eat(';', E);
+  }
+
+  const std::string &In;
+  ParsedSystem &P;
+  size_t Pos = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Language equivalence
+//===----------------------------------------------------------------------===//
+
+/// BFS over the product of the two total DFAs, symbols aligned by
+/// name; the languages differ iff some reachable pair disagrees on
+/// acceptance.
+bool sameLanguage(const OwnDfa &A, const OwnDfa &B) {
+  std::vector<uint32_t> BSym(A.Symbols.size(), InvalidId);
+  for (size_t I = 0; I != A.Symbols.size(); ++I)
+    for (uint32_t J = 0; J != B.Symbols.size(); ++J)
+      if (B.Symbols[J] == A.Symbols[I]) {
+        BSym[I] = J;
+        break;
+      }
+  std::set<std::pair<uint32_t, uint32_t>> Seen;
+  std::vector<std::pair<uint32_t, uint32_t>> Work;
+  Seen.emplace(A.Start, B.Start);
+  Work.emplace_back(A.Start, B.Start);
+  while (!Work.empty()) {
+    auto [SA, SB] = Work.back();
+    Work.pop_back();
+    if (static_cast<bool>(A.Accepting[SA]) !=
+        static_cast<bool>(B.Accepting[SB]))
+      return false;
+    for (uint32_t Y = 0; Y != A.Symbols.size(); ++Y) {
+      auto Next = std::make_pair(A.next(SA, Y), B.next(SB, BSym[Y]));
+      if (Seen.insert(Next).second)
+        Work.push_back(Next);
+    }
+  }
+  return true;
+}
+
+bool sideMatches(const ParsedSide &S, const LogNode &N) {
+  if (S.Kind != N.Kind)
+    return false;
+  switch (S.Kind) {
+  case KindVar:
+    return N.V == S.V;
+  case KindCons:
+    return N.C == S.C && N.Args == S.Args;
+  default:
+    return N.C == S.C && N.Index == S.Index && N.V == S.V;
+  }
+}
+
+} // namespace
+
+Verdict crossCheckSystem(const LogModel &M, Algebra &Alg,
+                         const std::string &SystemPath) {
+  (void)Alg;
+  std::string Text;
+  {
+    std::FILE *F = std::fopen(SystemPath.c_str(), "rb");
+    if (!F)
+      return badFile("cannot open '" + SystemPath + "'");
+    char Buf[65536];
+    size_t R;
+    while ((R = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+      Text.append(Buf, R);
+    std::fclose(F);
+  }
+
+  ParsedSystem P;
+  {
+    std::string Err;
+    RascParser RP(Text, P);
+    if (!RP.parse(Err))
+      return badFile(Err);
+  }
+
+  // A .rasc file always defines a regular annotation language; a log
+  // over a different domain kind proves some other system.
+  if (M.Domain != DomMonoid)
+    return mismatch("the log's annotation domain is not the file's "
+                    "regular-language monoid");
+
+  // Alphabet by name, both directions, then the language itself.
+  for (const std::string &S : P.Lang.Symbols)
+    if (std::find(M.Machine.Symbols.begin(), M.Machine.Symbols.end(), S) ==
+        M.Machine.Symbols.end())
+      return mismatch("the log's machine lacks symbol '" + S + "'");
+  for (const std::string &S : M.Machine.Symbols)
+    if (std::find(P.Lang.Symbols.begin(), P.Lang.Symbols.end(), S) ==
+        P.Lang.Symbols.end())
+      return mismatch("the log's machine has extra symbol '" + S + "'");
+  if (!sameLanguage(P.Lang, M.Machine))
+    return mismatch("the log's embedded machine accepts a different "
+                    "annotation language");
+
+  // Declarations the log mentions, by id: declaration order is the
+  // solver's id order. The log only defines what derivations touch, so
+  // a subset is fine; a divergent entry is not.
+  for (const auto &[Id, Def] : M.Ctors) {
+    if (Id >= P.Ctors.size())
+      return mismatch("constructor id " + std::to_string(Id) +
+                      " beyond the file's declarations");
+    if (Def.first != P.Ctors[Id].first || Def.second != P.Ctors[Id].second)
+      return mismatch("constructor " + std::to_string(Id) +
+                      " differs from the file's declaration");
+  }
+  for (const auto &[Id, Name] : M.Vars) {
+    if (Id >= P.Vars.size())
+      return mismatch("variable id " + std::to_string(Id) +
+                      " beyond the file's declarations");
+    if (Name != P.Vars[Id])
+      return mismatch("variable " + std::to_string(Id) +
+                      " named '" + Name + "' in the log, '" + P.Vars[Id] +
+                      "' in the file");
+  }
+
+  // The constraint stream: count, retraction pattern, and each
+  // record's original shape and annotation.
+  uint64_t Ingested = M.Statuses.back().Ingested;
+  if (Ingested != P.Constraints.size())
+    return mismatch("the log ingested " + std::to_string(Ingested) +
+                    " constraints, the file declares " +
+                    std::to_string(P.Constraints.size()));
+  std::unordered_map<uint32_t, const LogConstraint *> ByIdx;
+  for (const LogConstraint &K : M.Constraints)
+    ByIdx.emplace(K.Idx, &K);
+  std::unordered_map<uint32_t, const LogNode *> Nodes;
+  for (const auto &[Id, N] : M.Nodes)
+    Nodes.emplace(Id, &N);
+  std::unordered_map<uint32_t, const LogAnn *> Anns;
+  for (const auto &[Id, A] : M.Anns)
+    Anns.emplace(Id, &A);
+
+  for (uint32_t I = 0; I != P.Constraints.size(); ++I) {
+    bool Retracted = P.Retracted.count(I) != 0;
+    auto It = ByIdx.find(I);
+    if (Retracted != (It == ByIdx.end()))
+      return mismatch("constraint " + std::to_string(I) +
+                      (Retracted ? " is retracted in the file but recorded"
+                                 : " is missing from the log"));
+    if (Retracted)
+      continue;
+    const ParsedConstraint &PK = P.Constraints[I];
+    const LogConstraint &K = *It->second;
+    if (!sideMatches(PK.L, *Nodes.at(K.OrigL)) ||
+        !sideMatches(PK.R, *Nodes.at(K.OrigR)))
+      return mismatch("constraint " + std::to_string(I) +
+                      " differs structurally from the file's statement");
+    // Annotation: identity, or the symbol's transition column of the
+    // log's own machine (whose language the file was just shown to
+    // define).
+    const LogAnn &A = *Anns.at(K.Ann);
+    std::vector<uint32_t> Expect(M.Machine.NumStates);
+    if (PK.AnnSym.empty()) {
+      for (uint32_t S = 0; S != M.Machine.NumStates; ++S)
+        Expect[S] = S;
+    } else {
+      auto SymIt = std::find(M.Machine.Symbols.begin(),
+                             M.Machine.Symbols.end(), PK.AnnSym);
+      uint32_t Sym =
+          static_cast<uint32_t>(SymIt - M.Machine.Symbols.begin());
+      for (uint32_t S = 0; S != M.Machine.NumStates; ++S)
+        Expect[S] = M.Machine.next(S, Sym);
+    }
+    if (A.Table != Expect)
+      return mismatch("constraint " + std::to_string(I) +
+                      " carries a different annotation than the file's "
+                      "statement");
+  }
+  return Verdict::ok();
+}
+
+} // namespace rasccheck

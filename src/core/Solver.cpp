@@ -7,6 +7,7 @@
 #include "core/Solver.h"
 
 #include "core/Observe.h"
+#include "core/ProofLog.h"
 #include "support/ComposeKernel.h"
 #include "support/FailPoint.h"
 #include "support/FlatSet.h"
@@ -59,6 +60,29 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        Start)
       .count();
+}
+
+/// Maps a solve status to the proof trailer's status byte. An explicit
+/// switch, not a cast: the two enums agree by construction today, and
+/// this keeps a reordering of either from silently corrupting logs.
+ProofLogWriter::StatusCode proofStatusCode(BidirectionalSolver::Status S) {
+  switch (S) {
+  case BidirectionalSolver::Status::Solved:
+    return ProofLogWriter::StSolved;
+  case BidirectionalSolver::Status::Inconsistent:
+    return ProofLogWriter::StInconsistent;
+  case BidirectionalSolver::Status::EdgeLimit:
+    return ProofLogWriter::StEdgeLimit;
+  case BidirectionalSolver::Status::StepLimit:
+    return ProofLogWriter::StStepLimit;
+  case BidirectionalSolver::Status::Deadline:
+    return ProofLogWriter::StDeadline;
+  case BidirectionalSolver::Status::MemoryLimit:
+    return ProofLogWriter::StMemoryLimit;
+  case BidirectionalSolver::Status::Cancelled:
+    return ProofLogWriter::StCancelled;
+  }
+  return ProofLogWriter::StUnproven;
 }
 
 } // namespace
@@ -223,6 +247,11 @@ void BidirectionalSolver::collapseCycles(size_t FirstNew) {
             VarReps.merge(First, W);
             ++Stats.CollapsedVars;
             ++Merged;
+            // The pair is an unordered "same class" fact for the
+            // checker; whichever of the two the union-find elected
+            // representative is irrelevant to it.
+            if (Proof)
+              Proof->collapse(W, First);
           }
           if (W == V)
             break;
@@ -248,12 +277,14 @@ void BidirectionalSolver::ingest(const Constraint &C, uint32_t Idx) {
     return;
   ExprId L = canonicalize(C.Lhs);
   ExprId R = canonicalize(C.Rhs);
+  if (Proof)
+    Proof->constraint(Idx, C, L, R);
   // By value: varNode() below may intern a fresh var expr, and the
   // interning table can reallocate under any reference into it.
   const Expr LE = CS.expr(L);
 
   if (LE.Kind != ExprKind::Proj) {
-    if (Options.TrackProvenance)
+    if (NeedProv)
       CurProv = {EdgeProv::Rule::Surface, Idx};
     addEdge(L, R, C.Ann);
     return;
@@ -279,7 +310,7 @@ void BidirectionalSolver::ingest(const Constraint &C, uint32_t Idx) {
     ++Stats.ComposeCalls;
     if (trace::enabled())
       trace::instant("solver.projection", Src, YNode);
-    if (Options.TrackProvenance)
+    if (NeedProv)
       CurProv = {EdgeProv::Rule::Projection, Idx, Edge{Src, YNode, F}};
     addEdge(varNode(Arg), varNode(RE.V), CS.domain().compose(C.Ann, F));
   });
@@ -310,6 +341,8 @@ void BidirectionalSolver::insertFreshEdge(ExprId Src, ExprId Dst,
     Conflicts.push_back({Src, Dst, Ann});
     if (Options.TrackProvenance)
       ConflictProvs.push_back(CurProv);
+    if (Proof)
+      emitProofEdge(/*IsConflict=*/true, Src, Dst, Ann);
     return;
   }
 
@@ -328,6 +361,8 @@ void BidirectionalSolver::insertFreshEdge(ExprId Src, ExprId Dst,
       ProvPar2.push_back(provEdgeIndex(CurProv.P2));
     }
   }
+  if (Proof)
+    emitProofEdge(/*IsConflict=*/false, Src, Dst, Ann);
 }
 
 void BidirectionalSolver::decompose(const Edge &E) {
@@ -339,16 +374,17 @@ void BidirectionalSolver::decompose(const Edge &E) {
   ++Stats.DecomposeSteps;
   if (trace::enabled())
     trace::instant("solver.decompose", E.Src, E.Dst);
-  if (Options.TrackProvenance)
+  if (NeedProv)
     CurProv = {EdgeProv::Rule::Decompose, ~0u, E};
   for (size_t I = 0; I != L.Args.size(); ++I)
     addEdge(varNode(L.Args[I]), varNode(R.Args[I]), E.Ann);
-  addFnVarConstraint(L.Alpha, E.Ann, R.Alpha);
+  if (addFnVarConstraint(L.Alpha, E.Ann, R.Alpha) && Proof)
+    Proof->fnvar(L.Alpha, E.Ann, R.Alpha, {E.Src, E.Dst, E.Ann});
 }
 
 void BidirectionalSolver::process(const Edge &E) {
   const AnnotationDomain &D = CS.domain();
-  const bool Track = Options.TrackProvenance;
+  const bool Track = NeedProv;
   // One-byte kind loads; the full Expr records are only pulled in on
   // the rare constructor paths (decompose, watcher match).
   constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
@@ -457,13 +493,14 @@ void BidirectionalSolver::process(const Edge &E) {
   ++PredDone[E.Dst];
 }
 
-void BidirectionalSolver::addFnVarConstraint(FnVarId From, AnnId Fn,
+bool BidirectionalSolver::addFnVarConstraint(FnVarId From, AnnId Fn,
                                              FnVarId To) {
   if (!FnVarSeen.insert(From, To, Fn))
-    return;
+    return false;
   FnVarCons.push_back({From, Fn, To});
   ++Stats.FnVarConstraints;
   FnVarSolFresh = false;
+  return true;
 }
 
 BidirectionalSolver::Status
@@ -934,6 +971,13 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
   if (isInterrupted(Stat))
     ++Stats.Resumes;
 
+  // Proof logging opens before cycle elimination so the collapse
+  // records land in the log ahead of anything that depends on the
+  // merged representatives. NeedProv then arms CurProv population for
+  // this solve: provenance retention *or* a live writer.
+  openProofLogIfRequested();
+  NeedProv = Options.TrackProvenance || Proof != nullptr;
+
   // Cycle elimination only considers the first batch: merging
   // variables after edges exist would orphan bounds recorded on the
   // pre-merge nodes.
@@ -954,13 +998,14 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
 
   // Threads == 1 is the sequential algorithm, untouched; provenance
   // tracking records arena order (which rounds permute), so it pins
-  // the sequential path too.
+  // the sequential path too — and so does a live proof log, whose
+  // records must name premises in the order derivations happened.
   unsigned Threads =
       Options.Threads ? Options.Threads : ThreadPool::hardwareThreads();
   Status S;
   {
     RASC_TRACE_SCOPE("solver.closure", pendingEdges(), Threads);
-    S = (Threads > 1 && !Options.TrackProvenance)
+    S = (Threads > 1 && !Options.TrackProvenance && !Proof)
             ? runClosureParallel(Start, Threads)
             : runClosure(Start);
   }
@@ -981,6 +1026,15 @@ BidirectionalSolver::Status BidirectionalSolver::solve() {
   } else {
     ++Stats.Interrupts;
     Stat = S;
+  }
+
+  // Proof trailer: even an interrupted solve gets one, so the checker
+  // can certify the closed prefix. An emission failure here (FsyncFail
+  // included) degrades to unproven like any other write failure.
+  if (Proof) {
+    Proof->finish(proofStatusCode(Stat), PendingHead, NumIngested);
+    if (!Proof->ok())
+      abandonProof(nullptr);
   }
 
   // Final checkpoint: covers both completion and interrupts, so a
@@ -1018,6 +1072,9 @@ void BidirectionalSolver::recordSolveMetrics(
       .add(Stats.ParallelRounds - Before.ParallelRounds);
   M.counter("solver.checkpoints_saved")
       .add(Stats.CheckpointsSaved - Before.CheckpointsSaved);
+  M.counter("solver.proof_records")
+      .add(Stats.ProofRecords - Before.ProofRecords);
+  M.counter("solver.proof_bytes").add(Stats.ProofBytes - Before.ProofBytes);
   auto Ns = [](double Seconds) {
     return static_cast<uint64_t>(Seconds * 1e9);
   };
@@ -1050,6 +1107,178 @@ void BidirectionalSolver::periodicCheckpoint() {
   if (failpoints::armedAny() &&
       failpoints::hit(failpoints::Point::CrashAfterRename))
     ForcedInterrupt = Status::Cancelled;
+}
+
+void BidirectionalSolver::openProofLogIfRequested() {
+  if (Options.ProofLogPath.empty() || Proof || ProofDisabled)
+    return;
+  const bool Started = NumIngested != 0 || !EdgeArena.empty();
+  if (Started) {
+    // Rebuilding a started solver's log replays its derivations from
+    // provenance, so the records must be complete and the solver
+    // quiescent (an interrupted closure still owes derivations whose
+    // positions a rebuilt log could not promise).
+    if (!Options.TrackProvenance || EdgeProvs.size() != EdgeArena.size() ||
+        ConflictProvs.size() != Conflicts.size() || isInterrupted(Stat) ||
+        pendingEdges() != 0) {
+      LastProofDiag = Diag(
+          "proof log unavailable: enabling ProofLogPath on a started "
+          "solver requires TrackProvenance from the first solve() and a "
+          "quiescent (fully closed) state");
+      ProofDisabled = true;
+      ++Stats.ProofFailures;
+      return;
+    }
+  }
+  auto W = ProofLogWriter::open(
+      Options.ProofLogPath, CS, Options.FilterUseless,
+      Options.CycleElimination,
+      ProofSinks{&Stats.ProofRecords, &Stats.ProofChunks,
+                 &Stats.ProofBytes});
+  if (!W) {
+    LastProofDiag = W.error();
+    ProofDisabled = true;
+    ++Stats.ProofFailures;
+    return;
+  }
+  Proof = std::move(*W);
+  if (Started) {
+    rebuildProofLog();
+    if (Proof && !Proof->ok())
+      abandonProof(nullptr);
+  }
+}
+
+void BidirectionalSolver::rebuildProofLog() {
+  // Collapses first: everything after them is phrased in
+  // representatives.
+  for (VarId V = 0; V != CS.numVars(); ++V) {
+    VarId R = rep(V);
+    if (R != V)
+      Proof->collapse(V, R);
+  }
+  // Ingested (surviving) constraints, re-canonicalized — pure lookups:
+  // every canonical form was interned at its original ingest under the
+  // same representatives.
+  for (uint32_t J = 0; J != NumIngested; ++J) {
+    if (CS.isRetracted(J))
+      continue;
+    const Constraint &C = CS.constraints()[J];
+    Proof->constraint(J, C, canonicalize(C.Lhs), canonicalize(C.Rhs));
+  }
+
+  // Edge replay order: the arena is derivation order on the
+  // provenance-pinned sequential path, except that a retraction's
+  // compaction can move a requeued parent behind a surviving child —
+  // then a Kahn walk over the premise links restores a
+  // premise-before-use order (index-order FIFO keeps it near arena
+  // order and deterministic).
+  const uint32_t E = static_cast<uint32_t>(EdgeArena.size());
+  std::vector<uint32_t> Order(E);
+  if (Stats.Retractions == 0 || ProvPar1.size() != E ||
+      ProvPar2.size() != E) {
+    for (uint32_t I = 0; I != E; ++I)
+      Order[I] = I;
+  } else {
+    std::vector<uint32_t> Indeg(E, 0);
+    std::vector<uint32_t> ChildHead(E, ~0u), ChildNext1(E, ~0u),
+        ChildNext2(E, ~0u);
+    for (uint32_t I = 0; I != E; ++I) {
+      if (uint32_t P = ProvPar1[I]; P != ~0u) {
+        ChildNext1[I] = ChildHead[P];
+        ChildHead[P] = I;
+        ++Indeg[I];
+      }
+      if (uint32_t P = ProvPar2[I]; P != ~0u && P != ProvPar1[I]) {
+        ChildNext2[I] = ChildHead[P];
+        ChildHead[P] = I;
+        ++Indeg[I];
+      }
+    }
+    std::vector<uint32_t> Queue;
+    Queue.reserve(E);
+    for (uint32_t I = 0; I != E; ++I)
+      if (Indeg[I] == 0)
+        Queue.push_back(I);
+    size_t Head = 0, Done = 0;
+    while (Head != Queue.size()) {
+      uint32_t P = Queue[Head++];
+      Order[Done++] = P;
+      for (uint32_t C = ChildHead[P]; C != ~0u;
+           C = ProvPar1[C] == P ? ChildNext1[C] : ChildNext2[C])
+        if (--Indeg[C] == 0)
+          Queue.push_back(C);
+    }
+    if (Done != E) {
+      abandonProof("proof log rebuild failed: premise links do not "
+                   "topologically order the arena");
+      return;
+    }
+  }
+
+  // Walk the edges; each fn-var constraint is emitted at its first
+  // justifying constructor-constructor edge (the same "first
+  // derivation decides" convention retract() uses).
+  std::map<std::array<uint32_t, 3>, bool> FnPending;
+  for (const FnVarConstraint &C : FnVarCons)
+    FnPending[{C.From, C.Fn, C.To}] = true;
+  constexpr uint8_t KCons = static_cast<uint8_t>(ExprKind::Cons);
+  for (uint32_t K = 0; K != E && Proof->ok(); ++K) {
+    const Edge &Ed = EdgeArena[Order[K]];
+    const EdgeProv &P = EdgeProvs[Order[K]];
+    Proof->edge(Ed.Src, Ed.Dst, Ed.Ann,
+                static_cast<ProofLogWriter::Rule>(P.Kind), P.CIdx,
+                {P.P1.Src, P.P1.Dst, P.P1.Ann},
+                {P.P2.Src, P.P2.Dst, P.P2.Ann});
+    if (!FnPending.empty() && Ed.Src < NodeKind.size() &&
+        Ed.Dst < NodeKind.size() && NodeKind[Ed.Src] == KCons &&
+        NodeKind[Ed.Dst] == KCons) {
+      const Expr &L = CS.expr(Ed.Src);
+      const Expr &R = CS.expr(Ed.Dst);
+      auto It = FnPending.find({L.Alpha, Ed.Ann, R.Alpha});
+      if (It != FnPending.end()) {
+        Proof->fnvar(L.Alpha, Ed.Ann, R.Alpha, {Ed.Src, Ed.Dst, Ed.Ann});
+        FnPending.erase(It);
+      }
+    }
+  }
+  if (!FnPending.empty()) {
+    abandonProof("proof log rebuild failed: function-variable "
+                 "constraint has no surviving deriving edge");
+    return;
+  }
+  for (size_t I = 0; I != Conflicts.size() && Proof->ok(); ++I) {
+    const EdgeProv &P = ConflictProvs[I];
+    Proof->conflict(Conflicts[I].Src, Conflicts[I].Dst, Conflicts[I].Ann,
+                    static_cast<ProofLogWriter::Rule>(P.Kind), P.CIdx,
+                    {P.P1.Src, P.P1.Dst, P.P1.Ann},
+                    {P.P2.Src, P.P2.Dst, P.P2.Ann});
+  }
+}
+
+void BidirectionalSolver::emitProofEdge(bool IsConflict, ExprId Src,
+                                        ExprId Dst, AnnId Ann) {
+  auto R = static_cast<ProofLogWriter::Rule>(CurProv.Kind);
+  ProofPremise P1{CurProv.P1.Src, CurProv.P1.Dst, CurProv.P1.Ann};
+  ProofPremise P2{CurProv.P2.Src, CurProv.P2.Dst, CurProv.P2.Ann};
+  if (IsConflict)
+    Proof->conflict(Src, Dst, Ann, R, CurProv.CIdx, P1, P2);
+  else
+    Proof->edge(Src, Dst, Ann, R, CurProv.CIdx, P1, P2);
+  // Degrade, never interrupt: the solve keeps its result, it just can
+  // no longer produce a checkable artifact (lastProofDiag says why).
+  if (!Proof->ok())
+    abandonProof(nullptr);
+}
+
+void BidirectionalSolver::abandonProof(const char *Why) {
+  if (Proof && Proof->diag())
+    LastProofDiag = *Proof->diag();
+  else if (Why)
+    LastProofDiag = Diag(Why);
+  Proof.reset();
+  ProofDisabled = true;
+  ++Stats.ProofFailures;
 }
 
 uint32_t BidirectionalSolver::provEdgeIndex(const Edge &E) const {
@@ -1166,6 +1395,22 @@ BidirectionalSolver::retract(uint32_t Idx) {
   ++Stats.Retractions;
   if (Idx >= NumIngested)
     return solve(); // never ingested: the system flag alone suffices
+                    // (and the proof log, having never mentioned the
+                    // constraint, stays valid)
+
+  // An ingested retraction invalidates every log emitted so far: its
+  // records mention derivations about to be erased. Seal the file as
+  // Unproven, drop the writer, and clear the request — re-setting
+  // ProofLogPath after this retract rebuilds a fresh log from the
+  // post-retract state (ProofDisabled latches only for I/O failures).
+  if (Proof) {
+    Proof->finish(ProofLogWriter::StUnproven, PendingHead, NumIngested);
+    abandonProof("proof log abandoned: retract() erases derivations the "
+                 "log already recorded; set ProofLogPath again to "
+                 "rebuild a post-retract log");
+    Options.ProofLogPath.clear();
+    ProofDisabled = false;
+  }
 
   RASC_TRACE_SCOPE("solver.retract", Idx, EdgeArena.size());
   const uint32_t OldE = static_cast<uint32_t>(EdgeArena.size());
@@ -1491,6 +1736,10 @@ void BidirectionalSolver::resetToFresh() {
   VarNode.clear();
   PopsSinceCheckpoint = 0;
   LastCheckpointDiag.reset();
+  Proof.reset();
+  NeedProv = false;
+  ProofDisabled = false;
+  LastProofDiag.reset();
   // The thread pool and round scratch are state-free between rounds;
   // keeping them avoids re-spawning workers on a retry.
 }
@@ -1523,6 +1772,8 @@ size_t BidirectionalSolver::memoryBytes() const {
   }
   for (const ShardScratch &Sh : Shards)
     N += Sh.Fresh.capacity() * sizeof(Edge);
+  if (Proof)
+    N += Proof->memoryBytes();
   return N;
 }
 

@@ -48,6 +48,7 @@
 
 namespace rasc {
 
+class ProofLogWriter;
 class ThreadPool;
 
 /// Tuning knobs; the defaults match the paper's implementation notes.
@@ -186,6 +187,23 @@ struct SolverOptions {
   uint64_t CheckpointEveryPops = 0;
   std::string CheckpointPath;
 
+  /// Machine-checkable proof logging (core/ProofLog.h, DESIGN.md §12):
+  /// when non-empty, every solve() streams a derivation log to this
+  /// path — one record per inserted edge naming its closure-rule
+  /// premises — which the standalone rasccheck tool can verify
+  /// without trusting solver code. Setting the path on an unstarted
+  /// solver logs live; setting it on a started, quiescent solver with
+  /// TrackProvenance replays the existing derivations from provenance
+  /// first. An emission failure (disk full, injected fault) never
+  /// interrupts the solve: the log is abandoned with a final
+  /// "unproven" trailer and the Diag lands in lastProofDiag().
+  /// retract() likewise abandons the log (a compaction reorders the
+  /// arena, invalidating the emitted premise order) and clears this
+  /// path; re-set it to rebuild a fresh proof from the post-retract
+  /// state. Proof logging pins the sequential closure path, like
+  /// TrackProvenance.
+  std::string ProofLogPath;
+
   /// Record the provenance of every derived edge (which rule, from
   /// which premises) so that conflictWitness() can explain a
   /// Status::Inconsistent result as a chain of surface constraints
@@ -243,6 +261,14 @@ struct SolverStats {
   // Durability counters.
   uint64_t CheckpointsSaved = 0; ///< snapshots committed to disk
 
+  // Proof-logging counters (SolverOptions::ProofLogPath). Cumulative
+  // across writer rebuilds; ProofFailures counts logs abandoned to an
+  // I/O failure, an unsupported state, or a retraction.
+  uint64_t ProofRecords = 0;  ///< derivation records emitted
+  uint64_t ProofChunks = 0;   ///< CRC-framed chunks written
+  uint64_t ProofBytes = 0;    ///< log bytes written
+  uint64_t ProofFailures = 0; ///< proof logs abandoned
+
   // Incremental re-solve counters (SolverOptions::Incremental).
   uint64_t Retractions = 0;    ///< validated retract() calls
   uint64_t RetractedEdges = 0; ///< derivation-cone edges removed
@@ -271,6 +297,10 @@ struct SolverStats {
     Resumes += O.Resumes;
     ParallelRounds += O.ParallelRounds;
     CheckpointsSaved += O.CheckpointsSaved;
+    ProofRecords += O.ProofRecords;
+    ProofChunks += O.ProofChunks;
+    ProofBytes += O.ProofBytes;
+    ProofFailures += O.ProofFailures;
     Retractions += O.Retractions;
     RetractedEdges += O.RetractedEdges;
     RequeuedEdges += O.RequeuedEdges;
@@ -466,6 +496,21 @@ public:
   const std::optional<Diag> &lastCheckpointDiag() const {
     return LastCheckpointDiag;
   }
+
+  /// Why the proof log (SolverOptions::ProofLogPath) was abandoned,
+  /// if it was: an emission failure, an unsupported state when the
+  /// path was set, or a retraction. Like checkpoint failures, an
+  /// abandoned proof never interrupts a solve — the result stands,
+  /// it is merely unproven. Cleared by resetToFresh().
+  const std::optional<Diag> &lastProofDiag() const {
+    return LastProofDiag;
+  }
+
+  /// True while a proof-log writer is live: the last solve() sealed
+  /// the on-disk log with a checkable trailer and the next solve()
+  /// will keep appending. False before the first proof-enabled
+  /// solve() and after any abandonment.
+  bool proofActive() const { return Proof != nullptr; }
 
   /// @}
 
@@ -673,7 +718,8 @@ private:
   void insertFreshEdge(ExprId Src, ExprId Dst, AnnId Ann);
   void process(const Edge &E);
   void decompose(const Edge &E);
-  void addFnVarConstraint(FnVarId From, AnnId Fn, FnVarId To);
+  /// \returns true when the constraint was fresh (not a dedup drop).
+  bool addFnVarConstraint(FnVarId From, AnnId Fn, FnVarId To);
   void runEagerFnVars();
   void collapseCycles(size_t FirstNew);
   bool isVarNode(ExprId E) const {
@@ -766,6 +812,33 @@ private:
   /// records, which is how snapshots round-trip the index without
   /// serializing it).
   void rebuildProvIndex();
+
+  /// \name Proof emission (core/ProofLog.cpp hosts the writer;
+  /// Solver.cpp hosts these hooks)
+  /// @{
+
+  /// Opens (or rebuilds) the proof log when Options.ProofLogPath is
+  /// set and no writer is live. On a started solver this replays the
+  /// existing derivations from provenance in premise-respecting
+  /// order; any unsupported state degrades to lastProofDiag().
+  void openProofLogIfRequested();
+
+  /// Replays collapses, ingested constraints, arena edges (topological
+  /// over the parent links after a retraction, arena order otherwise),
+  /// fn-var constraints, and conflicts into a freshly opened writer.
+  void rebuildProofLog();
+
+  /// Emits the EDGE / CONFLICT record for the derivation described by
+  /// CurProv. Only called while the writer is live.
+  void emitProofEdge(bool IsConflict, ExprId Src, ExprId Dst, AnnId Ann);
+
+  /// Drops the writer, records why in LastProofDiag (the writer's own
+  /// Diag wins over \p Why), counts the failure, and latches
+  /// ProofDisabled so the solve stream does not thrash reopening a
+  /// failing log.
+  void abandonProof(const char *Why);
+
+  /// @}
 
   /// Records this solve() call's deltas into the global
   /// MetricsRegistry (core/Observe.h). Only called when
@@ -890,6 +963,17 @@ private:
   // lastCheckpointDiag(), never an interrupt).
   uint64_t PopsSinceCheckpoint = 0;
   std::optional<Diag> LastCheckpointDiag;
+
+  // Proof logging (Options.ProofLogPath). NeedProv is the per-solve
+  // "populate CurProv" switch: TrackProvenance *or* a live writer —
+  // the derivation sites consult it instead of TrackProvenance so
+  // proof emission works without paying for provenance retention.
+  // ProofDisabled latches after an abandoned log (see abandonProof);
+  // resetToFresh() clears it.
+  std::unique_ptr<ProofLogWriter> Proof;
+  bool NeedProv = false;
+  bool ProofDisabled = false;
+  std::optional<Diag> LastProofDiag;
 
   // Last progress line emitted (observe::setProgressEverySeconds);
   // epoch-zero until the first governance check arms it. Ephemeral

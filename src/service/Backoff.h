@@ -1,0 +1,99 @@
+//===- service/Backoff.h - Client retry backoff policy ----------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Capped exponential backoff with deterministic jitter for clients
+/// retrying Busy/refused responses from rascd (DESIGN.md §10). The
+/// admission path answers over-capacity connects with a structured
+/// Busy frame carrying a retry-after-ms hint; a well-behaved client
+/// must neither hammer the accept loop on a fixed short period (a
+/// retry storm re-rejects in lockstep) nor ignore the server's hint
+/// (the daemon knows its own drain/load state better than any client
+/// heuristic). This policy combines the two:
+///
+///   envelope(n) = min(CapMs, BaseMs * Factor^n)      n = retries so far
+///   delay(n)    = uniform [envelope/2, envelope]     deterministic PRNG
+///   result(n)   = max(delay(n), server hint)         hint is a *floor*
+///
+/// Halving the jitter window's lower edge keeps the expected delay
+/// growing exponentially while decorrelating clients that hit Busy at
+/// the same instant. The PRNG is a seeded xorshift64* — deterministic
+/// per seed so tests can assert exact schedules, and seedable per
+/// connection so concurrent bench shards spread out.
+///
+/// Header-only and dependency-free: the client binary links no solver
+/// code for this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_SERVICE_BACKOFF_H
+#define RASC_SERVICE_BACKOFF_H
+
+#include <cstdint>
+
+namespace rasc {
+namespace service {
+
+struct BackoffPolicy {
+  /// First retry's envelope in milliseconds.
+  int BaseMs = 50;
+  /// Envelope ceiling: the exponential growth saturates here. A
+  /// server hint above the cap is still honored (the floor wins).
+  int CapMs = 2000;
+  /// Envelope growth per retry.
+  double Factor = 2.0;
+};
+
+class Backoff {
+public:
+  explicit Backoff(BackoffPolicy P = {}, uint64_t Seed = 0x9e3779b97f4a7c15ull)
+      : Policy(P), State(Seed ? Seed : 1), Attempt(0) {}
+
+  /// Delay before the next retry, advancing the schedule. \p HintMs
+  /// is the server's retry-after-ms (<= 0 when the rejection carried
+  /// none, e.g. a refused connect); it floors the result so a client
+  /// never returns earlier than the server asked.
+  int nextDelayMs(int HintMs = 0) {
+    double Envelope = static_cast<double>(Policy.BaseMs);
+    for (unsigned I = 0; I < Attempt && Envelope < Policy.CapMs; ++I)
+      Envelope *= Policy.Factor;
+    if (Envelope > Policy.CapMs)
+      Envelope = Policy.CapMs;
+    ++Attempt;
+    int Env = Envelope < 1 ? 1 : static_cast<int>(Envelope);
+    // Uniform in [Env/2, Env]: keep the top half of the window so the
+    // expected delay still doubles, jitter the rest away.
+    int Lo = Env / 2;
+    int Delay = Lo + static_cast<int>(next() % static_cast<uint64_t>(
+                                                   Env - Lo + 1));
+    return HintMs > Delay ? HintMs : Delay;
+  }
+
+  /// Retries consumed so far (== successful nextDelayMs calls).
+  unsigned attempts() const { return Attempt; }
+
+  /// Restarts the schedule after a successful exchange, keeping the
+  /// PRNG stream (two resets do not replay the same jitter).
+  void reset() { Attempt = 0; }
+
+private:
+  uint64_t next() {
+    // xorshift64*: tiny, full-period, and plenty for jitter.
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+
+  BackoffPolicy Policy;
+  uint64_t State;
+  unsigned Attempt;
+};
+
+} // namespace service
+} // namespace rasc
+
+#endif // RASC_SERVICE_BACKOFF_H

@@ -7,6 +7,7 @@
 #include "service/Rascd.h"
 
 #include "core/BatchSolver.h"
+#include "core/ProofLog.h"
 #include "service/Session.h"
 #include "support/FailPoint.h"
 #include "support/ThreadPool.h"
@@ -205,6 +206,7 @@ std::optional<Diag> Rascd::warmBoot() {
     Sys->Name = Name;
     Sys->TextPath = Opts.DataDir + "/" + Name + ".rasc";
     Sys->SnapPath = Opts.DataDir + "/" + Name + ".rsnap";
+    Sys->ProofPath = Opts.DataDir + "/" + Name + ".rprf";
     std::optional<std::string> Text = readWholeFile(Sys->TextPath);
     if (!Text) {
       std::fprintf(stderr, "rascd: skipping '%s': unreadable\n",
@@ -228,6 +230,27 @@ std::optional<Diag> Rascd::warmBoot() {
                      "'%s' from scratch\n",
                      Sys->SnapPath.c_str(), D->render().c_str(),
                      Name.c_str());
+    }
+    if (fs::exists(Sys->ProofPath, Ec)) {
+      // A crash mid-stream leaves a torn tail after the last
+      // CRC-complete chunk; truncating it keeps the persisted log
+      // decodable (it merely proves less — the checker reports it as
+      // an incomplete proof until the next proof-enabled SOLVE seals
+      // a fresh trailer). Truncation is always safe, so a recovery
+      // Diag only warrants a warning.
+      uint64_t Before = fs::file_size(Sys->ProofPath, Ec);
+      Expected<uint64_t> Kept = recoverProofLog(Sys->ProofPath);
+      if (!Kept)
+        std::fprintf(stderr, "rascd: proof log '%s' unrecoverable: %s\n",
+                     Sys->ProofPath.c_str(),
+                     Kept.error().render().c_str());
+      else if (!Ec && Before != *Kept)
+        std::fprintf(stderr,
+                     "rascd: proof log '%s': truncated torn tail "
+                     "(%llu -> %llu bytes)\n",
+                     Sys->ProofPath.c_str(),
+                     static_cast<unsigned long long>(Before),
+                     static_cast<unsigned long long>(*Kept));
     }
     Booted.push_back(Sys);
   }
@@ -438,6 +461,7 @@ Rascd::createSystem(const std::string &Name, std::string Text) {
   Sys->Name = Name;
   Sys->TextPath = Opts.DataDir + "/" + Name + ".rasc";
   Sys->SnapPath = Opts.DataDir + "/" + Name + ".rsnap";
+  Sys->ProofPath = Opts.DataDir + "/" + Name + ".rprf";
   if (!Text.empty() && Text.back() != '\n')
     Text.push_back('\n');
   Sys->Text = std::move(Text);
@@ -465,6 +489,31 @@ void Rascd::refreshGauges() {
       .set(ActiveSessions.load(std::memory_order_relaxed));
   M.gauge("service.resident_systems").set(numResidentSystems());
   M.gauge("service.group_memory_bytes").set(groupMemoryBytes());
+
+  // Proof-logging gauges, aggregated over every resident solver whose
+  // mutex is free (a system mid-solve keeps its previous contribution
+  // out of this snapshot rather than stalling STATS on its lock).
+  uint64_t Records = 0, Bytes = 0, Failures = 0, Active = 0;
+  std::vector<std::shared_ptr<ResidentSystem>> All;
+  {
+    std::lock_guard<std::mutex> L(RegistryMx);
+    for (auto &[Name, Sys] : Registry)
+      All.push_back(Sys);
+  }
+  for (auto &Sys : All) {
+    std::unique_lock<std::mutex> L(Sys->Mx, std::try_to_lock);
+    if (!L.owns_lock())
+      continue;
+    const SolverStats &St = Sys->Solver->stats();
+    Records += St.ProofRecords;
+    Bytes += St.ProofBytes;
+    Failures += St.ProofFailures;
+    Active += Sys->Solver->proofActive() ? 1 : 0;
+  }
+  M.gauge("service.proof_records").set(Records);
+  M.gauge("service.proof_bytes").set(Bytes);
+  M.gauge("service.proof_failures").set(Failures);
+  M.gauge("service.proof_active_logs").set(Active);
 }
 
 void Rascd::registerSessionFd(int Fd) {

@@ -35,6 +35,16 @@
 ///    any Diag), and re-solving everything through core/BatchSolver.h
 ///    under one shared budget.
 ///
+///  - Trust boundary: SOLVE with body "proof=1" additionally streams
+///    a machine-checkable derivation log to "<name>.rprf" next to the
+///    snapshot (core/ProofLog.h, DESIGN.md §12). The standalone
+///    rasccheck tool validates the log without trusting the daemon or
+///    the solver, so a client need not believe a "solved" answer — it
+///    can demand the proof. Kill -9 mid-stream leaves a torn tail;
+///    warm boot truncates it back to the last CRC-complete chunk
+///    (recoverProofLog), and the next proof-enabled SOLVE rebuilds a
+///    complete log from provenance.
+///
 ///  - Drain: requestDrain() (the DRAIN op, or SIGTERM in the rascd
 ///    binary) stops admission, lets in-flight requests finish — the
 ///    drain flag is observed only *between* frames, so an accepted
@@ -128,8 +138,9 @@ struct RascdOptions {
 /// by stopHard()).
 struct ResidentSystem {
   std::string Name;
-  std::string TextPath; ///< DataDir/Name.rasc
-  std::string SnapPath; ///< DataDir/Name.rsnap
+  std::string TextPath;  ///< DataDir/Name.rasc
+  std::string SnapPath;  ///< DataDir/Name.rsnap
+  std::string ProofPath; ///< DataDir/Name.rprf (SOLVE proof=1)
 
   std::mutex Mx;
   std::string Text; ///< durable program text (mirror of TextPath)

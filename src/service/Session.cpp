@@ -96,7 +96,7 @@ bool Session::serveOne(const Frame &F) {
       R = handleRetract(F.Body);
       break;
     case Op::Solve:
-      R = handleSolve();
+      R = handleSolve(F.Body);
       break;
     case Op::Entail:
       R = handleQuery(F.Body, /*Pn=*/false);
@@ -254,12 +254,22 @@ Status Session::solveAttached(ResidentSystem &Sys) {
   return Sys.Solver->solve();
 }
 
-Frame Session::handleSolve() {
+Frame Session::handleSolve(const std::string &Body) {
   if (!Attached)
     return err("no system attached (send load first)");
   ResidentSystem &Sys = *Attached;
   std::lock_guard<std::mutex> L(Sys.Mx);
   BidirectionalSolver &S = *Sys.Solver;
+  // Body "proof=1" opts this system into derivation logging: the
+  // solver streams a machine-checkable log to DataDir/<name>.rprf
+  // (durable next to the snapshot; rasccheck validates it offline).
+  // Opt-in is sticky for the resident solver — later plain SOLVEs
+  // keep appending so the log always covers the whole closure. On a
+  // started solver the writer replays existing derivations from
+  // provenance (rascd runs with TrackProvenance by default).
+  if (Body.find("proof=1") != std::string::npos &&
+      S.options().ProofLogPath.empty())
+    S.options().ProofLogPath = Sys.ProofPath;
   uint64_t SavedBefore = S.stats().CheckpointsSaved;
   Status St = solveAttached(Sys);
   const char *Chk = "none";
@@ -278,6 +288,16 @@ Frame Session::handleSolve() {
   B += "\nmemory=" + std::to_string(S.memoryBytes());
   B += "\ncheckpoint=";
   B += Chk;
+  B += "\nproof=";
+  if (S.proofActive()) {
+    B += "streaming\nproof-path=" + Sys.ProofPath;
+  } else if (!S.options().ProofLogPath.empty() || S.lastProofDiag()) {
+    B += "abandoned";
+    if (S.lastProofDiag())
+      B += "\nproof-error=" + S.lastProofDiag()->render();
+  } else {
+    B += "off";
+  }
   return ok(std::move(B));
 }
 

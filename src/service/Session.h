@@ -52,7 +52,7 @@ private:
   Frame handleLoad(const std::string &Body);
   Frame handleAdd(const std::string &Body);
   Frame handleRetract(const std::string &Body);
-  Frame handleSolve();
+  Frame handleSolve(const std::string &Body);
   Frame handleQuery(const std::string &Body, bool Pn);
   Frame handleStats();
   Frame handleDrain();

@@ -21,6 +21,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
 
 using namespace rasc;
 
@@ -152,6 +155,27 @@ TEST_F(GovernanceTest, MemoryBytesAccountsGrowth) {
   size_t Before = S.memoryBytes();
   ASSERT_EQ(S.solve(), Status::Solved);
   EXPECT_GT(S.memoryBytes(), Before);
+}
+
+TEST_F(GovernanceTest, MemoryBytesAccountsProofWriter) {
+  // The proof-log writer's buffer and dedup bitmaps live inside the
+  // solver and must be visible to the memory budget — otherwise a
+  // governed solve with proof logging on could exceed MaxMemoryBytes
+  // through an unaccounted channel.
+  Chain A(200), B(200);
+  BidirectionalSolver Plain(A.CS);
+  ASSERT_EQ(Plain.solve(), Status::Solved);
+
+  const std::string Path = ::testing::TempDir() + "governance_proof_" +
+                           std::to_string(::getpid()) + ".rprf";
+  SolverOptions O;
+  O.ProofLogPath = Path;
+  BidirectionalSolver Proved(B.CS, O);
+  ASSERT_EQ(Proved.solve(), Status::Solved);
+  ASSERT_FALSE(Proved.lastProofDiag());
+  ASSERT_TRUE(Proved.proofActive());
+  EXPECT_GT(Proved.memoryBytes(), Plain.memoryBytes());
+  std::remove(Path.c_str());
 }
 
 TEST_F(GovernanceTest, DeadlineFailpoint) {

@@ -13,6 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "check/Checker.h"
 #include "service/Protocol.h"
 #include "service/Rascd.h"
 #include "service/Session.h"
@@ -394,6 +395,59 @@ TEST_F(ServiceTest, RetractSurvivesHardKill) {
   EXPECT_EQ(kvGet(R.Body, "holds"), "false") << "accepted RETRACT was lost";
   R = rpc(C, Op::Entail, "c in X0");
   EXPECT_EQ(kvGet(R.Body, "holds"), "true");
+}
+
+TEST_F(ServiceTest, ProofOptInStreamsCheckableLogAcrossHardKill) {
+  startDaemon();
+  fs::path Log = Dir / "proved.rprf";
+  {
+    Conn C = connect();
+    Frame R = rpc(C, Op::Load, std::string("proved\n") + SmallProgram);
+    ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+    // Without the body flag, proof logging stays off.
+    R = rpc(C, Op::Solve, "");
+    ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+    EXPECT_EQ(kvGet(R.Body, "proof"), "off");
+    EXPECT_FALSE(fs::exists(Log));
+    // proof=1 on a started solver takes the rebuild-from-provenance
+    // path (the daemon tracks provenance for incremental retract).
+    R = rpc(C, Op::Solve, "proof=1");
+    ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+    EXPECT_EQ(kvGet(R.Body, "proof"), "streaming") << R.Body;
+    EXPECT_EQ(kvGet(R.Body, "proof-path"), Log.string());
+    ASSERT_TRUE(fs::exists(Log));
+    // The trailer is fsynced per solve: the standalone checker can
+    // validate the log while the daemon is still serving.
+    rasccheck::CheckOptions CO;
+    CO.LogPath = Log.string();
+    rasccheck::CheckResult CR = rasccheck::checkProofLog(CO);
+    EXPECT_EQ(CR.ExitCode, rasccheck::ExitSolved) << CR.Message;
+    // STATS exports the emission gauges.
+    R = rpc(C, Op::Stats, "");
+    EXPECT_NE(R.Body.find("service.proof_active_logs"), std::string::npos);
+  }
+  // A hard kill can leave a half-written frame; simulate the torn
+  // tail so warm-boot truncation is exercised deterministically.
+  {
+    std::ofstream F(Log, std::ios::binary | std::ios::app);
+    F << "PRFC-half-a-frame";
+  }
+  uint64_t TornSize = fs::file_size(Log);
+  restartDaemon(/*Hard=*/true);
+  ASSERT_TRUE(fs::exists(Log));
+  EXPECT_LT(fs::file_size(Log), TornSize) << "torn tail not truncated";
+  rasccheck::CheckOptions CO;
+  CO.LogPath = Log.string();
+  EXPECT_EQ(rasccheck::checkProofLog(CO).ExitCode, rasccheck::ExitSolved)
+      << "recovered log no longer checks";
+  // Opt in again after recovery: a fresh log rebuilt from provenance.
+  Conn C = connect();
+  Frame R = rpc(C, Op::Load, "proved");
+  ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+  R = rpc(C, Op::Solve, "proof=1");
+  ASSERT_EQ(R.Kind, Op::Ok) << R.Body;
+  EXPECT_EQ(kvGet(R.Body, "proof"), "streaming") << R.Body;
+  EXPECT_EQ(rasccheck::checkProofLog(CO).ExitCode, rasccheck::ExitSolved);
 }
 
 TEST_F(ServiceTest, StatsExposesServiceMetrics) {
