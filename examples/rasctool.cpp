@@ -11,6 +11,20 @@
 ///   rasctool [options] --batch dir solve every .rasc file in dir
 ///   rasctool [options]             run the embedded demo (Example 2.4)
 ///
+/// eBPF bytecode front-end (DESIGN.md §13):
+///
+///   rasctool --ebpf FILE       decode raw eBPF bytecode, build the
+///                              CFG, and run all three analyses on it
+///                              (map-check typestate, register
+///                              init dataflow, context label flow)
+///   rasctool --ebpf-batch DIR  the same for every .bpf file under
+///                              DIR, all constraint systems solved
+///                              concurrently on one BatchSolver pool
+///
+/// Both honour --threads and --certify; a malformed input is reported
+/// as the decoder's structured diagnostic (byte offset and slot) and
+/// exits 1.
+///
 /// Options (resource governance; see DESIGN.md sections 7 and 8):
 ///
 ///   --max-edges N    stop after N inserted edges (0 = unlimited)
@@ -106,7 +120,13 @@
 #include "core/BatchSolver.h"
 #include "core/Certifier.h"
 #include "core/Observe.h"
+#include "dataflow/BitVector.h"
+#include "ebpf/Cfg.h"
+#include "ebpf/Decode.h"
+#include "ebpf/Lower.h"
+#include "flow/Analysis.h"
 #include "frontend/ConstraintParser.h"
+#include "pdmc/Checker.h"
 #include "support/Trace.h"
 
 #include <algorithm>
@@ -116,6 +136,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 using namespace rasc;
@@ -446,12 +467,216 @@ int runBatch(const std::string &Dir, CliOptions Cli) {
   return Exit;
 }
 
+//===----------------------------------------------------------------------===//
+// eBPF bytecode front-end (--ebpf / --ebpf-batch)
+//===----------------------------------------------------------------------===//
+
+std::optional<std::vector<uint8_t>> readBytes(const std::string &Path) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File)
+    return std::nullopt;
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(File)),
+                              std::istreambuf_iterator<char>());
+}
+
+/// One decoded program's three analyses. Heap-pinned: the analysis
+/// objects hold references into the lowerings, so the whole bundle is
+/// created in place and never moved.
+struct EbpfAnalyses {
+  ebpf::Cfg G;
+  ebpf::PdmcLowering Pd;
+  ebpf::DataflowLowering Df;
+  ebpf::FlowLowering Fl;
+  std::unique_ptr<RascChecker> Checker;
+  std::unique_ptr<AnnotatedBitVectorAnalysis> Reg;
+  std::unique_ptr<FlowAnalysis> Flow;
+};
+
+std::unique_ptr<EbpfAnalyses> makeEbpfAnalyses(ebpf::Cfg G,
+                                               const SpecAutomaton &Spec,
+                                               const SolverOptions &Opts) {
+  auto A = std::make_unique<EbpfAnalyses>();
+  A->G = std::move(G);
+  A->Pd = ebpf::lowerToProgram(A->G);
+  A->Df = ebpf::lowerToDataflow(A->G);
+  A->Fl = ebpf::lowerToFlowProgram(A->G);
+  A->Checker = std::make_unique<RascChecker>(*A->Pd.Prog, Spec);
+  A->Checker->setSolverOptions(Opts);
+  A->Reg = std::make_unique<AnnotatedBitVectorAnalysis>(*A->Df.Problem);
+  A->Flow = std::make_unique<FlowAnalysis>(A->Fl.Prog, FlowMode::Primal);
+  return A;
+}
+
+int runEbpf(const std::string &Path, CliOptions Cli) {
+  std::optional<std::vector<uint8_t>> Bytes = readBytes(Path);
+  if (!Bytes) {
+    std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+    return 1;
+  }
+  Expected<ebpf::DecodedProgram> D = ebpf::decode(*Bytes);
+  if (!D) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                 D.error().render().c_str());
+    return 1;
+  }
+  ebpf::Cfg G = ebpf::buildCfg(std::move(*D));
+  std::printf("%s: %u instructions (%u slots), %u blocks, %u edges\n\n%s\n",
+              Path.c_str(), G.Prog.numInsns(), G.Prog.numSlots(),
+              G.numBlocks(), G.numEdges(), ebpf::dump(G.Prog).c_str());
+
+  SolverOptions Opts = Cli.Solver;
+  Opts.Threads = Cli.Threads;
+  SpecAutomaton Spec = ebpf::mapCheckSpec();
+  std::unique_ptr<EbpfAnalyses> A =
+      makeEbpfAnalyses(std::move(G), Spec, Opts);
+
+  std::vector<Violation> Violations = A->Checker->check();
+  std::printf("map-check: %zu violation(s)\n", Violations.size());
+  for (const Violation &V : Violations)
+    std::printf("  unchecked dereference at %s\n",
+                A->Pd.Prog->stmt(V.Where).Note.c_str());
+
+  A->Reg->prepare(Opts);
+  A->Reg->solve();
+  std::vector<ebpf::UninitRead> Uninit = ebpf::uninitReads(A->Df, *A->Reg);
+  std::printf("register init: %zu read(s) before initialization\n",
+              Uninit.size());
+  for (const ebpf::UninitRead &U : Uninit)
+    std::printf("  r%u %s at %u: %s\n", U.Reg,
+                U.Definite ? "never initialized" : "maybe uninitialized",
+                A->G.Prog.SlotOf[U.InsnIdx],
+                ebpf::toString(A->G.Prog.Insns[U.InsnIdx]).c_str());
+
+  A->Flow->prepare(Opts);
+  bool Ctx = A->Flow->flowsPN(A->Fl.CtxLit, A->Fl.ResultExpr);
+  std::printf("label flow: context pointer (r1) %s to the return value\n",
+              Ctx ? "flows" : "does not flow");
+
+  if (Cli.Certify) {
+    if (int E = certify(*A->Checker->solver(), "map-check"))
+      return E;
+    if (int E = certify(*A->Reg->solver(), "register init"))
+      return E;
+    if (int E = certify(A->Flow->solver(), "label flow"))
+      return E;
+  }
+  return 0;
+}
+
+/// Batch mode: every .bpf file under \p Dir, the three constraint
+/// systems per program all solved concurrently on one pool.
+int runEbpfBatch(const std::string &Dir, CliOptions Cli) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Paths;
+  std::error_code EC;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC))
+    if (E.is_regular_file() && E.path().extension() == ".bpf")
+      Paths.push_back(E.path().string());
+  if (EC) {
+    std::fprintf(stderr, "cannot read %s: %s\n", Dir.c_str(),
+                 EC.message().c_str());
+    return 1;
+  }
+  if (Paths.empty()) {
+    std::fprintf(stderr, "no .bpf files under %s\n", Dir.c_str());
+    return 1;
+  }
+  std::sort(Paths.begin(), Paths.end());
+
+  int Exit = 0;
+  // Each task solves sequentially; the pool supplies the parallelism.
+  SolverOptions Opts = Cli.Solver;
+  Opts.Threads = 1;
+  SpecAutomaton Spec = ebpf::mapCheckSpec();
+  std::vector<std::string> Kept;
+  std::vector<std::unique_ptr<EbpfAnalyses>> All;
+  for (const std::string &Path : Paths) {
+    std::optional<std::vector<uint8_t>> Bytes = readBytes(Path);
+    if (!Bytes) {
+      std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+      Exit = std::max(Exit, 1);
+      continue;
+    }
+    Expected<ebpf::DecodedProgram> D = ebpf::decode(*Bytes);
+    if (!D) {
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(),
+                   D.error().render().c_str());
+      Exit = std::max(Exit, 1);
+      continue;
+    }
+    Kept.push_back(Path);
+    All.push_back(makeEbpfAnalyses(ebpf::buildCfg(std::move(*D)), Spec,
+                                   Opts));
+  }
+  if (All.empty())
+    return std::max(Exit, 1);
+
+  std::vector<BidirectionalSolver *> Ptrs;
+  for (std::unique_ptr<EbpfAnalyses> &A : All) {
+    A->Checker->prepare();
+    A->Reg->prepare(Opts);
+    A->Flow->prepare(Opts);
+    Ptrs.push_back(A->Checker->solver());
+    Ptrs.push_back(A->Reg->solver());
+    // FlowAnalysis re-solves lazily on the first query; handing its
+    // solver to the pool just brings it to the fixpoint early.
+    Ptrs.push_back(const_cast<BidirectionalSolver *>(&A->Flow->solver()));
+  }
+
+  BatchSolver::Options BO;
+  BO.Threads = Cli.Threads;
+  BO.DeadlineSeconds = Cli.Solver.DeadlineSeconds;
+  BO.CancelFlag = &InterruptRequested;
+  BatchSolver Batch(BO);
+  std::printf("ebpf batch: %zu programs (%zu systems) on %u threads\n\n",
+              All.size(), Ptrs.size(), Batch.numThreads());
+  std::vector<BatchSolver::Result> Results = Batch.solveAll(Ptrs);
+
+  size_t TotalInsns = 0, TotalViolations = 0, TotalUninit = 0,
+         TotalCtxFlows = 0;
+  for (size_t I = 0; I != All.size(); ++I) {
+    EbpfAnalyses &A = *All[I];
+    int FileExit = 0;
+    for (size_t S = 0; S != 3; ++S)
+      FileExit = std::max(FileExit, statusExitCode(Results[3 * I + S].St));
+    Exit = std::max(Exit, FileExit);
+
+    std::vector<Violation> Violations = A.Checker->collectViolations();
+    A.Reg->finalize();
+    std::vector<ebpf::UninitRead> Uninit = ebpf::uninitReads(A.Df, *A.Reg);
+    bool Ctx = A.Flow->flowsPN(A.Fl.CtxLit, A.Fl.ResultExpr);
+    TotalInsns += A.G.Prog.numInsns();
+    TotalViolations += Violations.size();
+    TotalUninit += Uninit.size();
+    TotalCtxFlows += Ctx;
+    std::printf("%s: %u insns, %u blocks; %zu map-check violation(s), "
+                "%zu uninit read(s), ctx->ret %s\n",
+                Kept[I].c_str(), A.G.Prog.numInsns(), A.G.numBlocks(),
+                Violations.size(), Uninit.size(), Ctx ? "yes" : "no");
+    if (Cli.Certify) {
+      if (int E = certify(*A.Checker->solver(), Kept[I].c_str()))
+        Exit = std::max(Exit, E);
+      if (int E = certify(*A.Reg->solver(), Kept[I].c_str()))
+        Exit = std::max(Exit, E);
+      if (int E = certify(A.Flow->solver(), Kept[I].c_str()))
+        Exit = std::max(Exit, E);
+    }
+  }
+  std::printf("\nebpf batch total: %zu programs, %zu instructions, "
+              "%zu violations, %zu uninit reads, %zu ctx-flows\n",
+              All.size(), TotalInsns, TotalViolations, TotalUninit,
+              TotalCtxFlows);
+  return Exit;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions Cli;
   const char *Path = nullptr;
   const char *BatchDir = nullptr;
+  const char *EbpfPath = nullptr;
+  const char *EbpfDir = nullptr;
   const char *TracePath = nullptr;
   bool Metrics = false;
   for (int I = 1; I < Argc; ++I) {
@@ -487,6 +712,18 @@ int main(int Argc, char **Argv) {
         return 1;
       }
       BatchDir = Argv[++I];
+    } else if (Arg == "--ebpf") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--ebpf needs a file\n");
+        return 1;
+      }
+      EbpfPath = Argv[++I];
+    } else if (Arg == "--ebpf-batch") {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "--ebpf-batch needs a directory\n");
+        return 1;
+      }
+      EbpfDir = Argv[++I];
     } else if (Arg == "--checkpoint") {
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "--checkpoint needs a path\n");
@@ -565,7 +802,11 @@ int main(int Argc, char **Argv) {
     observe::setMetricsEnabled(true);
 
   int Exit;
-  if (BatchDir) {
+  if (EbpfPath) {
+    Exit = runEbpf(EbpfPath, Cli);
+  } else if (EbpfDir) {
+    Exit = runEbpfBatch(EbpfDir, Cli);
+  } else if (BatchDir) {
     Exit = runBatch(BatchDir, Cli);
   } else if (!Path) {
     std::printf("(no input file; running the embedded Example 2.4 "

@@ -55,6 +55,16 @@ public:
   void setGen(StmtId S, unsigned Bit) { Gens[S] |= uint64_t(1) << Bit; }
   void setKill(StmtId S, unsigned Bit) { Kills[S] |= uint64_t(1) << Bit; }
 
+  /// Whole-mask transfer setter (ORs into the existing masks) for
+  /// front-ends that compute per-statement gen/kill sets as words —
+  /// the eBPF lowering's register effects in particular.
+  void addTransfer(StmtId S, uint64_t GenMask, uint64_t KillMask) {
+    assert((NumBits == 64 || ((GenMask | KillMask) >> NumBits) == 0) &&
+           "mask wider than the problem");
+    Gens[S] |= GenMask;
+    Kills[S] |= KillMask;
+  }
+
   uint64_t gens(StmtId S) const { return Gens[S]; }
   /// Kills are applied before gens at the same statement (a statement
   /// that both kills and gens leaves the fact set).

@@ -1,0 +1,75 @@
+//===- ebpf/Cfg.cpp - Basic blocks over decoded eBPF ------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ebpf/Cfg.h"
+
+#include <cassert>
+
+namespace rasc {
+namespace ebpf {
+
+Cfg buildCfg(DecodedProgram Prog) {
+  Cfg G;
+  G.Prog = std::move(Prog);
+  const DecodedProgram &P = G.Prog;
+  const uint32_t N = P.numInsns();
+  assert(N != 0 && "decode rejects empty programs");
+
+  // Leader detection.
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  for (uint32_t I = 0; I != N; ++I) {
+    const Insn &In = P.Insns[I];
+    if (In.isBranch()) {
+      Leader[P.branchTargetInsn(I)] = true;
+      if (I + 1 != N)
+        Leader[I + 1] = true;
+    } else if (In.isExit() && I + 1 != N) {
+      Leader[I + 1] = true;
+    }
+  }
+
+  // Carve blocks and record membership.
+  G.BlockOfInsn.resize(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    if (Leader[I]) {
+      Block B;
+      B.FirstInsn = I;
+      G.Blocks.push_back(B);
+    }
+    uint32_t BlockId = static_cast<uint32_t>(G.Blocks.size()) - 1;
+    G.BlockOfInsn[I] = BlockId;
+    ++G.Blocks[BlockId].NumInsns;
+  }
+
+  // Edges: fall-through first, then the taken target (deterministic
+  // order, relied on by the lowering and the differential tests).
+  for (Block &B : G.Blocks) {
+    uint32_t Last = B.lastInsn();
+    const Insn &T = P.Insns[Last];
+    if (T.isExit())
+      continue;
+    if (T.isBranch()) {
+      uint32_t Target = G.BlockOfInsn[P.branchTargetInsn(Last)];
+      if (T.isUncondJump()) {
+        B.Succs.push_back(Target);
+      } else {
+        B.Succs.push_back(G.BlockOfInsn[Last + 1]); // fall-through
+        if (Target != B.Succs.back()) // "goto +0" has one successor
+          B.Succs.push_back(Target);
+      }
+      continue;
+    }
+    // Block ended because the next instruction is a leader.
+    assert(Last + 1 != N && "decode rejects fall-off-the-end");
+    B.Succs.push_back(G.BlockOfInsn[Last + 1]);
+  }
+
+  return G;
+}
+
+} // namespace ebpf
+} // namespace rasc

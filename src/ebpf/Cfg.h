@@ -1,0 +1,65 @@
+//===- ebpf/Cfg.h - Basic blocks over decoded eBPF --------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits a validated instruction stream into basic blocks and builds
+/// the control flow graph: leaders are instruction 0, every branch
+/// target, and every instruction following a branch or exit; edges
+/// are fall-throughs, taken branches, or absent (exit). Because the
+/// decoder already range-checked every jump, CFG construction cannot
+/// fail — the invariants the property tests pin down are:
+///
+///   * every instruction belongs to exactly one block,
+///   * every edge targets a block leader,
+///   * a block's terminator is its only branch/exit instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_EBPF_CFG_H
+#define RASC_EBPF_CFG_H
+
+#include "ebpf/Decode.h"
+
+#include <vector>
+
+namespace rasc {
+namespace ebpf {
+
+/// One basic block: a contiguous instruction range plus successor
+/// block ids. Succs ordering is deterministic: fall-through first,
+/// then the taken branch target.
+struct Block {
+  uint32_t FirstInsn = 0;
+  uint32_t NumInsns = 0;
+  std::vector<uint32_t> Succs;
+
+  uint32_t lastInsn() const { return FirstInsn + NumInsns - 1; }
+};
+
+/// The control flow graph; owns the decoded program. Block 0 is the
+/// entry block (instruction 0 is always a leader).
+struct Cfg {
+  DecodedProgram Prog;
+  std::vector<Block> Blocks;
+  /// Per instruction: the owning block.
+  std::vector<uint32_t> BlockOfInsn;
+
+  uint32_t numBlocks() const { return static_cast<uint32_t>(Blocks.size()); }
+  uint32_t numEdges() const {
+    uint32_t N = 0;
+    for (const Block &B : Blocks)
+      N += static_cast<uint32_t>(B.Succs.size());
+    return N;
+  }
+};
+
+/// Builds the CFG of a decoded (hence fully validated) program.
+Cfg buildCfg(DecodedProgram Prog);
+
+} // namespace ebpf
+} // namespace rasc
+
+#endif // RASC_EBPF_CFG_H

@@ -1,0 +1,469 @@
+//===- ebpf/Decode.cpp - eBPF bytecode decoder ------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ebpf/Decode.h"
+
+#include <cstdio>
+#include <optional>
+
+namespace rasc {
+namespace ebpf {
+
+namespace {
+
+std::string hexByte(uint8_t B) {
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "0x%02x", B);
+  return Buf;
+}
+
+/// Diag factory: every decoder rejection names the byte offset and
+/// carries the 1-based slot index in SourceLoc::Line.
+Diag at(uint32_t Slot, std::string Msg) {
+  Msg += " at byte offset " + std::to_string(Slot * SlotBytes);
+  return Diag(std::move(Msg), SourceLoc{Slot + 1, 0});
+}
+
+uint16_t readLe16(const uint8_t *P) {
+  return static_cast<uint16_t>(P[0] | (uint16_t(P[1]) << 8));
+}
+
+uint32_t readLe32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+/// Raw field split of one 8-byte slot.
+struct RawSlot {
+  uint8_t Opcode, Dst, Src;
+  int16_t Off;
+  int32_t Imm;
+};
+
+RawSlot readSlot(const uint8_t *P) {
+  RawSlot S;
+  S.Opcode = P[0];
+  S.Dst = P[1] & 0x0f;
+  S.Src = static_cast<uint8_t>(P[1] >> 4);
+  S.Off = static_cast<int16_t>(readLe16(P + 2));
+  S.Imm = static_cast<int32_t>(readLe32(P + 4));
+  return S;
+}
+
+/// Registers readable anywhere; r10 is additionally writable nowhere.
+std::optional<Diag> checkRegs(uint32_t Slot, const RawSlot &S, bool DstRead,
+                              bool DstWritten, bool SrcRead) {
+  if ((DstRead || DstWritten) && S.Dst >= NumRegs)
+    return at(Slot, "register r" + std::to_string(S.Dst) + " out of range");
+  if (SrcRead && S.Src >= NumRegs)
+    return at(Slot, "register r" + std::to_string(S.Src) + " out of range");
+  if (DstWritten && S.Dst == FrameReg)
+    return at(Slot, "write to read-only frame register r10");
+  return std::nullopt;
+}
+
+std::optional<Diag> validateAlu(uint32_t Slot, const RawSlot &S, Insn &I) {
+  AluOp Op = I.aluOp();
+  bool Is64 = I.cls() == InsnClass::Alu64;
+  if (static_cast<uint8_t>(Op) > static_cast<uint8_t>(AluOp::End))
+    return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+  if (Op == AluOp::End)
+    return at(Slot, "byte-swap (END) instructions are out of scope");
+  if (S.Off != 0)
+    return at(Slot, "reserved offset field not zero in ALU instruction");
+  if (Op == AluOp::Neg) {
+    if (I.srcIsReg())
+      return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+    return checkRegs(Slot, S, /*DstRead=*/true, /*DstWritten=*/true,
+                     /*SrcRead=*/false);
+  }
+  bool ReadsDst = Op != AluOp::Mov;
+  if (auto D = checkRegs(Slot, S, ReadsDst, /*DstWritten=*/true,
+                         /*SrcRead=*/I.srcIsReg()))
+    return D;
+  if (!I.srcIsReg() && S.Src != 0)
+    return at(Slot, "reserved source register not zero in ALU instruction");
+  if (!I.srcIsReg()) {
+    if ((Op == AluOp::Div || Op == AluOp::Mod) && S.Imm == 0)
+      return at(Slot, "division by zero immediate");
+    if (Op == AluOp::Lsh || Op == AluOp::Rsh || Op == AluOp::Arsh) {
+      int32_t Width = Is64 ? 64 : 32;
+      if (S.Imm < 0 || S.Imm >= Width)
+        return at(Slot, "shift amount " + std::to_string(S.Imm) +
+                            " out of range for " +
+                            (Is64 ? std::string("64") : std::string("32")) +
+                            "-bit shift");
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Diag> validateJmp(uint32_t Slot, const RawSlot &S, Insn &I) {
+  JmpOp Op = I.jmpOp();
+  bool Is32 = I.cls() == InsnClass::Jmp32;
+  if (static_cast<uint8_t>(Op) > static_cast<uint8_t>(JmpOp::Jsle))
+    return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+  switch (Op) {
+  case JmpOp::Call:
+    if (Is32)
+      return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+    if (I.srcIsReg() || S.Src != 0)
+      return at(Slot, "unsupported bpf-to-bpf or tail call");
+    if (S.Dst != 0 || S.Off != 0)
+      return at(Slot, "reserved field not zero in call instruction");
+    return std::nullopt;
+  case JmpOp::Exit:
+    if (Is32 || I.srcIsReg())
+      return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+    if (S.Dst != 0 || S.Src != 0 || S.Off != 0 || S.Imm != 0)
+      return at(Slot, "reserved field not zero in exit instruction");
+    return std::nullopt;
+  case JmpOp::Ja:
+    if (Is32 || I.srcIsReg())
+      return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+    if (S.Dst != 0 || S.Src != 0 || S.Imm != 0)
+      return at(Slot, "reserved field not zero in jump instruction");
+    return std::nullopt;
+  default:
+    // Conditional: dst is read, src read in X form.
+    if (auto D = checkRegs(Slot, S, /*DstRead=*/true, /*DstWritten=*/false,
+                           /*SrcRead=*/I.srcIsReg()))
+      return D;
+    if (!I.srcIsReg() && S.Src != 0)
+      return at(Slot,
+                "reserved source register not zero in jump instruction");
+    return std::nullopt;
+  }
+}
+
+std::optional<Diag> validateMem(uint32_t Slot, const RawSlot &S, Insn &I) {
+  switch (I.memMode()) {
+  case MemMode::Abs:
+  case MemMode::Ind:
+    return at(Slot, "legacy packet access (ABS/IND) is out of scope");
+  case MemMode::Atomic:
+    return at(Slot, "atomic operations are out of scope");
+  case MemMode::Imm:
+    // Only LD_IMM64, handled by the caller before this point.
+    return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+  case MemMode::Mem:
+    break;
+  default:
+    return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+  }
+  switch (I.cls()) {
+  case InsnClass::Ldx: // dst <- *(base src + off)
+    return checkRegs(Slot, S, /*DstRead=*/false, /*DstWritten=*/true,
+                     /*SrcRead=*/true);
+  case InsnClass::Stx: // *(base dst + off) <- src
+    return checkRegs(Slot, S, /*DstRead=*/true, /*DstWritten=*/false,
+                     /*SrcRead=*/true);
+  case InsnClass::St: // *(base dst + off) <- imm
+    if (S.Src != 0)
+      return at(Slot,
+                "reserved source register not zero in store instruction");
+    return checkRegs(Slot, S, /*DstRead=*/true, /*DstWritten=*/false,
+                     /*SrcRead=*/false);
+  default: // plain Ld other than LD_IMM64
+    return at(Slot, "invalid opcode " + hexByte(S.Opcode));
+  }
+}
+
+} // namespace
+
+Expected<DecodedProgram> decode(std::span<const uint8_t> Bytes) {
+  if (Bytes.empty())
+    return Diag("empty program");
+  if (Bytes.size() % SlotBytes != 0)
+    return Diag("truncated instruction stream: program size " +
+                    std::to_string(Bytes.size()) +
+                    " is not a multiple of 8",
+                SourceLoc{static_cast<uint32_t>(Bytes.size() / SlotBytes) + 1,
+                          0});
+
+  DecodedProgram P;
+  const uint32_t NumSlots = static_cast<uint32_t>(Bytes.size() / SlotBytes);
+  P.InsnAtSlot.resize(NumSlots);
+
+  for (uint32_t Slot = 0; Slot != NumSlots;) {
+    RawSlot S = readSlot(Bytes.data() + size_t(Slot) * SlotBytes);
+    Insn I;
+    I.Opcode = S.Opcode;
+    I.Dst = S.Dst;
+    I.Src = S.Src;
+    I.Off = S.Off;
+    I.Imm = S.Imm;
+
+    std::optional<Diag> D;
+    switch (I.cls()) {
+    case InsnClass::Alu:
+    case InsnClass::Alu64:
+      D = validateAlu(Slot, S, I);
+      break;
+    case InsnClass::Jmp:
+    case InsnClass::Jmp32:
+      D = validateJmp(Slot, S, I);
+      break;
+    case InsnClass::Ld:
+      if (I.Opcode == LdImm64Opcode) {
+        if (S.Src != 0)
+          D = at(Slot, "map-fd and other pseudo immediates are out of scope");
+        else if (S.Off != 0)
+          D = at(Slot,
+                 "reserved offset field not zero in wide instruction");
+        else if (auto RD = checkRegs(Slot, S, /*DstRead=*/false,
+                                     /*DstWritten=*/true, /*SrcRead=*/false))
+          D = RD;
+        else if (Slot + 1 == NumSlots)
+          D = at(Slot, "wide instruction split across the end of the program");
+        else {
+          RawSlot S2 = readSlot(Bytes.data() + size_t(Slot + 1) * SlotBytes);
+          if (S2.Opcode != 0 || S2.Dst != 0 || S2.Src != 0 || S2.Off != 0)
+            D = at(Slot + 1, "malformed second slot of wide instruction");
+          else {
+            I.Wide = true;
+            I.Imm64 = (static_cast<uint64_t>(static_cast<uint32_t>(S2.Imm))
+                       << 32) |
+                      static_cast<uint32_t>(S.Imm);
+          }
+        }
+      } else {
+        D = validateMem(Slot, S, I);
+      }
+      break;
+    case InsnClass::Ldx:
+    case InsnClass::St:
+    case InsnClass::Stx:
+      D = validateMem(Slot, S, I);
+      break;
+    }
+    if (D)
+      return *D;
+
+    uint32_t InsnIdx = static_cast<uint32_t>(P.Insns.size());
+    P.SlotOf.push_back(Slot);
+    P.InsnAtSlot[Slot] = InsnIdx;
+    if (I.Wide)
+      P.InsnAtSlot[Slot + 1] = InsnIdx;
+    uint32_t Next = Slot + I.slots();
+    P.Insns.push_back(I);
+    Slot = Next;
+  }
+
+  // Control-flow validation over the assembled slot map.
+  for (uint32_t Idx = 0; Idx != P.numInsns(); ++Idx) {
+    const Insn &I = P.Insns[Idx];
+    uint32_t Slot = P.SlotOf[Idx];
+    if (I.isBranch()) {
+      int64_t Target = static_cast<int64_t>(Slot) + 1 + I.Off;
+      if (Target < 0 || Target >= NumSlots)
+        return at(Slot, "jump out of range (target slot " +
+                            std::to_string(Target) + " of " +
+                            std::to_string(NumSlots) + ")");
+      uint32_t TargetInsn = P.InsnAtSlot[static_cast<uint32_t>(Target)];
+      if (P.SlotOf[TargetInsn] != static_cast<uint32_t>(Target))
+        return at(Slot, "jump into the middle of a wide instruction");
+    }
+    // Anything that can fall through must have a next instruction.
+    bool FallsThrough = !I.isExit() && !I.isUncondJump();
+    if (FallsThrough && Idx + 1 == P.numInsns())
+      return at(Slot, "control falls off the end of the program");
+  }
+
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Encoding (the exact inverse on accepted programs)
+//===----------------------------------------------------------------------===//
+
+void encode(const Insn &I, std::vector<uint8_t> &Out) {
+  auto emitSlot = [&Out](uint8_t Opcode, uint8_t Dst, uint8_t Src,
+                         int16_t Off, int32_t Imm) {
+    Out.push_back(Opcode);
+    Out.push_back(static_cast<uint8_t>((Src << 4) | (Dst & 0x0f)));
+    uint16_t O = static_cast<uint16_t>(Off);
+    Out.push_back(static_cast<uint8_t>(O & 0xff));
+    Out.push_back(static_cast<uint8_t>(O >> 8));
+    uint32_t V = static_cast<uint32_t>(Imm);
+    for (int B = 0; B != 4; ++B)
+      Out.push_back(static_cast<uint8_t>((V >> (8 * B)) & 0xff));
+  };
+  if (I.Wide) {
+    emitSlot(I.Opcode, I.Dst, I.Src, I.Off,
+             static_cast<int32_t>(I.Imm64 & 0xffffffffu));
+    emitSlot(0, 0, 0, 0, static_cast<int32_t>(I.Imm64 >> 32));
+    return;
+  }
+  emitSlot(I.Opcode, I.Dst, I.Src, I.Off, I.Imm);
+}
+
+std::vector<uint8_t> encode(const std::vector<Insn> &Prog) {
+  std::vector<uint8_t> Out;
+  Out.reserve(Prog.size() * SlotBytes);
+  for (const Insn &I : Prog)
+    encode(I, Out);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Disassembly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *aluMnemonic(AluOp Op) {
+  switch (Op) {
+  case AluOp::Add:
+    return "+=";
+  case AluOp::Sub:
+    return "-=";
+  case AluOp::Mul:
+    return "*=";
+  case AluOp::Div:
+    return "/=";
+  case AluOp::Or:
+    return "|=";
+  case AluOp::And:
+    return "&=";
+  case AluOp::Lsh:
+    return "<<=";
+  case AluOp::Rsh:
+    return ">>=";
+  case AluOp::Mod:
+    return "%=";
+  case AluOp::Xor:
+    return "^=";
+  case AluOp::Mov:
+    return "=";
+  case AluOp::Arsh:
+    return "s>>=";
+  default:
+    return "?=";
+  }
+}
+
+const char *jmpMnemonic(JmpOp Op) {
+  switch (Op) {
+  case JmpOp::Jeq:
+    return "==";
+  case JmpOp::Jgt:
+    return ">";
+  case JmpOp::Jge:
+    return ">=";
+  case JmpOp::Jset:
+    return "&";
+  case JmpOp::Jne:
+    return "!=";
+  case JmpOp::Jsgt:
+    return "s>";
+  case JmpOp::Jsge:
+    return "s>=";
+  case JmpOp::Jlt:
+    return "<";
+  case JmpOp::Jle:
+    return "<=";
+  case JmpOp::Jslt:
+    return "s<";
+  case JmpOp::Jsle:
+    return "s<=";
+  default:
+    return "?";
+  }
+}
+
+const char *sizeName(MemSize S) {
+  switch (S) {
+  case MemSize::B:
+    return "u8";
+  case MemSize::H:
+    return "u16";
+  case MemSize::W:
+    return "u32";
+  case MemSize::Dw:
+    return "u64";
+  }
+  return "u?";
+}
+
+std::string reg(uint8_t R, bool Wide64) {
+  return (Wide64 ? "r" : "w") + std::to_string(R);
+}
+
+std::string offStr(int32_t Off) {
+  return (Off >= 0 ? "+" : "") + std::to_string(Off);
+}
+
+std::string memAddr(const char *Size, uint8_t Base, int16_t Off) {
+  std::string S = "*(";
+  S += Size;
+  S += " *)(r" + std::to_string(Base);
+  if (Off >= 0)
+    S += " + " + std::to_string(Off);
+  else
+    S += " - " + std::to_string(-static_cast<int32_t>(Off));
+  return S + ")";
+}
+
+} // namespace
+
+std::string toString(const Insn &I) {
+  switch (I.cls()) {
+  case InsnClass::Alu:
+  case InsnClass::Alu64: {
+    bool Is64 = I.cls() == InsnClass::Alu64;
+    std::string D = reg(I.Dst, Is64);
+    if (I.aluOp() == AluOp::Neg)
+      return D + " = -" + D;
+    std::string Rhs =
+        I.srcIsReg() ? reg(I.Src, Is64) : std::to_string(I.Imm);
+    return D + " " + aluMnemonic(I.aluOp()) + " " + Rhs;
+  }
+  case InsnClass::Jmp:
+  case InsnClass::Jmp32: {
+    if (I.isExit())
+      return "exit";
+    if (I.isCall())
+      return "call " + std::to_string(I.Imm);
+    if (I.isUncondJump())
+      return "goto " + offStr(I.Off);
+    bool Is64 = I.cls() == InsnClass::Jmp;
+    std::string Rhs =
+        I.srcIsReg() ? reg(I.Src, Is64) : std::to_string(I.Imm);
+    return "if " + reg(I.Dst, Is64) + " " + jmpMnemonic(I.jmpOp()) + " " +
+           Rhs + " goto " + offStr(I.Off);
+  }
+  case InsnClass::Ld: {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "0x%llx",
+                  static_cast<unsigned long long>(I.Imm64));
+    return "r" + std::to_string(I.Dst) + " = " + Buf + " ll";
+  }
+  case InsnClass::Ldx:
+    return "r" + std::to_string(I.Dst) + " = " +
+           memAddr(sizeName(I.memSize()), I.Src, I.Off);
+  case InsnClass::St:
+    return memAddr(sizeName(I.memSize()), I.Dst, I.Off) + " = " +
+           std::to_string(I.Imm);
+  case InsnClass::Stx:
+    return memAddr(sizeName(I.memSize()), I.Dst, I.Off) + " = r" +
+           std::to_string(I.Src);
+  }
+  return "<invalid>";
+}
+
+std::string dump(const DecodedProgram &P) {
+  std::string Out;
+  for (uint32_t Idx = 0; Idx != P.numInsns(); ++Idx) {
+    Out += std::to_string(P.SlotOf[Idx]) + ": " + toString(P.Insns[Idx]) +
+           "\n";
+  }
+  return Out;
+}
+
+} // namespace ebpf
+} // namespace rasc

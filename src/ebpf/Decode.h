@@ -1,0 +1,78 @@
+//===- ebpf/Decode.h - eBPF bytecode decoder --------------------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes a raw eBPF instruction stream into validated instructions.
+/// The decoder is the trust boundary for bytecode input: malformed
+/// bytes — truncated streams, unknown opcodes, out-of-range
+/// registers, jumps outside the program or into the middle of a wide
+/// instruction, writes to the read-only frame register, control
+/// falling off the end — become structured rasc::Diags carrying the
+/// byte offset (and the 1-based slot index in SourceLoc::Line), never
+/// UB or a crash (fuzz tested under ASan/UBSan).
+///
+/// Accepted programs satisfy, by construction: every jump targets a
+/// valid instruction boundary, the last instruction cannot fall
+/// through, and encode(decode(bytes)) == bytes (property tested).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_EBPF_DECODE_H
+#define RASC_EBPF_DECODE_H
+
+#include "ebpf/Insn.h"
+#include "support/Diag.h"
+
+#include <span>
+#include <vector>
+
+namespace rasc {
+namespace ebpf {
+
+/// A validated instruction stream with the slot <-> instruction maps
+/// the CFG builder needs (jump offsets are in 8-byte slot units;
+/// LD_IMM64 occupies two slots).
+struct DecodedProgram {
+  std::vector<Insn> Insns;
+  /// Per instruction: its first slot index.
+  std::vector<uint32_t> SlotOf;
+  /// Per slot: the owning instruction (both slots of a wide
+  /// instruction map to it).
+  std::vector<uint32_t> InsnAtSlot;
+
+  uint32_t numInsns() const { return static_cast<uint32_t>(Insns.size()); }
+  uint32_t numSlots() const {
+    return static_cast<uint32_t>(InsnAtSlot.size());
+  }
+
+  /// The instruction a branch at \p InsnIdx jumps to (valid for
+  /// accepted programs: the decoder range-checks every target).
+  uint32_t branchTargetInsn(uint32_t InsnIdx) const {
+    const Insn &I = Insns[InsnIdx];
+    uint32_t Slot = static_cast<uint32_t>(
+        static_cast<int64_t>(SlotOf[InsnIdx]) + 1 + I.Off);
+    return InsnAtSlot[Slot];
+  }
+
+  /// Byte offset of an instruction (for diagnostics and reports).
+  uint32_t byteOffset(uint32_t InsnIdx) const {
+    return SlotOf[InsnIdx] * static_cast<uint32_t>(SlotBytes);
+  }
+};
+
+/// Decodes and validates \p Bytes. On failure the Diag's message
+/// names the violation and the byte offset; SourceLoc::Line carries
+/// the 1-based slot index (0 = whole-program errors).
+Expected<DecodedProgram> decode(std::span<const uint8_t> Bytes);
+
+/// Renders a whole program as one instruction per line, each prefixed
+/// with its slot index — the golden-file disassembly format.
+std::string dump(const DecodedProgram &P);
+
+} // namespace ebpf
+} // namespace rasc
+
+#endif // RASC_EBPF_DECODE_H

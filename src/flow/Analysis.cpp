@@ -318,6 +318,7 @@ FlowAnalysis::FlowAnalysis(const FlowProgram &P, FlowMode Mode)
 
   for (FFuncId F = 0; F != P.functions().size(); ++F) {
     const FFunc &Fn = P.functions()[F];
+    InferCache.clear(); // Var nodes mean this function's parameter
     LType Body = Mode == FlowMode::Primal
                      ? inferPrimal(Fn, ParamLTs[F], Fn.Body)
                      : inferDual(Fn, ParamLTs[F], Fn.Body);
@@ -328,9 +329,13 @@ FlowAnalysis::FlowAnalysis(const FlowProgram &P, FlowMode Mode)
 
   // Seed a source constant at every literal up front; flow queries
   // (Section 7.3) and the alias queries of Section 7.5 (which compare
-  // least-solution term sets) both need them.
+  // least-solution term sets) both need them. Literal nodes never
+  // reached from a function body carry no label (programmatic
+  // builders — the eBPF front-end overwriting a register slot —
+  // orphan nodes in the arena); a dead value needs no source.
   for (FExprId Lit : P.literals())
-    sourceConstant(Lit);
+    if (ExprLabel.count(Lit))
+      sourceConstant(Lit);
 }
 
 FlowAnalysis::LType FlowAnalysis::spread(TypeId T) {
@@ -359,8 +364,12 @@ AnnId FlowAnalysis::callAnn(bool Open, uint32_t CallSite) {
 FlowAnalysis::LType FlowAnalysis::inferPrimal(const FFunc &F,
                                               const LType &ParamLT,
                                               FExprId EId) {
+  // Shared sub-DAGs (programmatic builders) are inferred exactly
+  // once, so every use sees the same label and constraint set.
+  if (auto It = InferCache.find(EId); It != InferCache.end())
+    return It->second;
   const FExpr &E = P.expr(EId);
-  LType Result;
+  LType Result{};
   switch (E.Kind) {
   case FExpr::Var:
     Result = ParamLT;
@@ -403,14 +412,17 @@ FlowAnalysis::LType FlowAnalysis::inferPrimal(const FFunc &F,
   }
   }
   ExprLabel[EId] = Result.L;
+  InferCache.emplace(EId, Result);
   return Result;
 }
 
 FlowAnalysis::LType FlowAnalysis::inferDual(const FFunc &F,
                                             const LType &ParamLT,
                                             FExprId EId) {
+  if (auto It = InferCache.find(EId); It != InferCache.end())
+    return It->second;
   const FExpr &E = P.expr(EId);
-  LType Result;
+  LType Result{};
   switch (E.Kind) {
   case FExpr::Var:
     Result = ParamLT;
@@ -452,6 +464,7 @@ FlowAnalysis::LType FlowAnalysis::inferDual(const FFunc &F,
   }
   }
   ExprLabel[EId] = Result.L;
+  InferCache.emplace(EId, Result);
   return Result;
 }
 
@@ -509,12 +522,18 @@ const BidirectionalSolver &FlowAnalysis::solver() {
 }
 
 bool FlowAnalysis::flows(FExprId From, FExprId To) {
+  // An expression outside every function body was never inferred and
+  // has no label: its value exists nowhere, so nothing flows.
+  if (!ExprLabel.count(From) || !ExprLabel.count(To))
+    return false;
   ConsId C = sourceConstant(From);
   ensureSolved();
   return Solver->entailsConstant(C, labelOf(To));
 }
 
 bool FlowAnalysis::flowsPN(FExprId From, FExprId To) {
+  if (!ExprLabel.count(From) || !ExprLabel.count(To))
+    return false;
   ConsId C = sourceConstant(From);
   ensureSolved();
   AtomReachability AR =

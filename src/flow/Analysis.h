@@ -141,6 +141,13 @@ private:
   std::vector<bool> RecursiveSite; // dual: call sites with eps annotation
   std::vector<VarId> ParamLabels, RetLabels;
   std::map<FExprId, VarId> ExprLabel;
+  /// Per-function memo of inferred expression nodes: programmatic
+  /// builders (the eBPF front-end in particular) share subexpression
+  /// DAGs, and each shared node must get exactly one label so that
+  /// labelOf/flows queries see every constraint generated for it.
+  /// Cleared between functions — a Var node's meaning depends on the
+  /// enclosing function's parameter labeling.
+  std::map<FExprId, LType> InferCache;
   std::map<FExprId, ConsId> SourceCons;
   std::vector<ConsId> CallCons; // primal: o_i per call site
   ConsId PairCons = 0;          // dual

@@ -1,0 +1,182 @@
+//===- progen/EbpfGen.cpp - Synthetic eBPF bytecode emitter -----*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "progen/EbpfGen.h"
+
+#include "ebpf/Lower.h" // HelperMapLookup
+#include "support/Rng.h"
+
+#include <cassert>
+
+namespace rasc {
+
+using namespace ebpf;
+
+namespace {
+
+/// A register that may be written (anything but r10).
+uint8_t writableReg(Rng &R) { return static_cast<uint8_t>(R.below(10)); }
+
+/// Any readable register, r10 included.
+uint8_t readableReg(Rng &R) { return static_cast<uint8_t>(R.below(NumRegs)); }
+
+/// A base register for memory accesses: r0 with the configured bias
+/// (dereferencing the last helper result), otherwise any register.
+uint8_t baseReg(Rng &R, const EbpfGenOptions &Opts) {
+  if (R.chance(Opts.R0BasePermille, 1000))
+    return 0;
+  return readableReg(R);
+}
+
+MemSize randomSize(Rng &R) {
+  switch (R.below(4)) {
+  case 0:
+    return MemSize::W;
+  case 1:
+    return MemSize::H;
+  case 2:
+    return MemSize::B;
+  default:
+    return MemSize::Dw;
+  }
+}
+
+int16_t smallOff(Rng &R) {
+  return static_cast<int16_t>(static_cast<int64_t>(R.range(0, 256)) - 128);
+}
+
+Insn randomAlu(Rng &R) {
+  // Every ALU op except the rejected byte-swap group.
+  static const AluOp Ops[] = {AluOp::Add,  AluOp::Sub, AluOp::Mul,
+                              AluOp::Div,  AluOp::Or,  AluOp::And,
+                              AluOp::Lsh,  AluOp::Rsh, AluOp::Neg,
+                              AluOp::Mod,  AluOp::Xor, AluOp::Mov,
+                              AluOp::Arsh};
+  AluOp Op = Ops[R.below(std::size(Ops))];
+  bool Is64 = R.chance(1, 2);
+  uint8_t Dst = writableReg(R);
+  if (Op == AluOp::Neg)
+    return mkAluImm(AluOp::Neg, Dst, 0, Is64);
+  if (R.chance(1, 2))
+    return mkAlu(Op, Dst, readableReg(R), Is64);
+  int32_t Imm = static_cast<int32_t>(R.next());
+  if (Op == AluOp::Div || Op == AluOp::Mod)
+    Imm = static_cast<int32_t>(R.range(1, 1000)); // no zero divisors
+  else if (Op == AluOp::Lsh || Op == AluOp::Rsh || Op == AluOp::Arsh)
+    Imm = static_cast<int32_t>(R.below(Is64 ? 64 : 32));
+  return mkAluImm(Op, Dst, Imm, Is64);
+}
+
+Insn randomBody(Rng &R, const EbpfGenOptions &Opts) {
+  if (R.chance(Opts.CallPermille, 1000))
+    return mkCall(R.chance(Opts.LookupPermille, 1000)
+                      ? HelperMapLookup
+                      : static_cast<int32_t>(R.range(2, 12)));
+  if (R.chance(Opts.WidePermille, 1000))
+    return mkLdImm64(writableReg(R), R.next());
+  if (R.chance(Opts.MovPermille, 1000))
+    return mkAlu(AluOp::Mov, writableReg(R), readableReg(R), R.chance(1, 2));
+  switch (R.below(4)) {
+  case 0:
+    return mkLoad(randomSize(R), writableReg(R), baseReg(R, Opts),
+                  smallOff(R));
+  case 1:
+    return mkStoreReg(randomSize(R), baseReg(R, Opts), readableReg(R),
+                      smallOff(R));
+  case 2:
+    return mkStoreImm(randomSize(R), baseReg(R, Opts),
+                      static_cast<int32_t>(R.next()), smallOff(R));
+  default:
+    return randomAlu(R);
+  }
+}
+
+/// A conditional jump terminator; the offset is patched after layout.
+Insn randomCondJmp(Rng &R, const EbpfGenOptions &Opts) {
+  if (R.chance(Opts.CheckPermille, 1000))
+    return mkJmpImm(R.chance(1, 2) ? JmpOp::Jeq : JmpOp::Jne, 0, 0, 0);
+  static const JmpOp Ops[] = {JmpOp::Jeq,  JmpOp::Jgt,  JmpOp::Jge,
+                              JmpOp::Jset, JmpOp::Jne,  JmpOp::Jsgt,
+                              JmpOp::Jsge, JmpOp::Jlt,  JmpOp::Jle,
+                              JmpOp::Jslt, JmpOp::Jsle};
+  JmpOp Op = Ops[R.below(std::size(Ops))];
+  bool Is32 = R.chance(1, 4);
+  if (R.chance(1, 2))
+    return mkJmp(Op, readableReg(R), readableReg(R), 0, Is32);
+  return mkJmpImm(Op, readableReg(R), static_cast<int32_t>(R.next()), 0,
+                  Is32);
+}
+
+} // namespace
+
+std::vector<Insn> generateEbpfInsns(const EbpfGenOptions &Opts) {
+  Rng R(Opts.Seed);
+  const unsigned NumBlocks =
+      static_cast<unsigned>(R.range(Opts.MinBlocks, Opts.MaxBlocks));
+
+  // Per-block instruction lists; terminator jump targets are recorded
+  // as block indices and patched to slot offsets after layout.
+  struct GenBlock {
+    std::vector<Insn> Insns;
+    unsigned JumpTarget = ~0u; ///< block index the last insn jumps to
+  };
+  std::vector<GenBlock> Blocks(NumBlocks);
+
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    GenBlock &GB = Blocks[B];
+    const unsigned Body =
+        static_cast<unsigned>(R.range(Opts.MinBodyInsns, Opts.MaxBodyInsns));
+    for (unsigned I = 0; I != Body; ++I)
+      GB.Insns.push_back(randomBody(R, Opts));
+
+    // Terminator. The last block must not fall through the end; any
+    // block may exit early or jump backwards (loops).
+    const bool IsLast = B + 1 == NumBlocks;
+    const uint64_t Kind = R.below(IsLast ? 2 : 5);
+    if (Kind == 0) {
+      GB.Insns.push_back(mkExit());
+    } else if (Kind == 1) {
+      GB.Insns.push_back(mkJa(0));
+      GB.JumpTarget = static_cast<unsigned>(R.below(NumBlocks));
+    } else {
+      // Conditional: taken target anywhere, fall-through to B + 1.
+      GB.Insns.push_back(randomCondJmp(R, Opts));
+      GB.JumpTarget = static_cast<unsigned>(R.below(NumBlocks));
+    }
+  }
+
+  // Layout: blocks in order; record each block's first slot.
+  std::vector<uint32_t> BlockSlot(NumBlocks);
+  uint32_t Slot = 0;
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    BlockSlot[B] = Slot;
+    for (const Insn &I : Blocks[B].Insns)
+      Slot += I.slots();
+  }
+
+  // Patch jump offsets (slot-relative) and flatten.
+  std::vector<Insn> Out;
+  for (unsigned B = 0; B != NumBlocks; ++B) {
+    GenBlock &GB = Blocks[B];
+    if (GB.JumpTarget != ~0u) {
+      uint32_t TermSlot = BlockSlot[B];
+      for (size_t I = 0; I + 1 != GB.Insns.size(); ++I)
+        TermSlot += GB.Insns[I].slots();
+      int64_t Off = static_cast<int64_t>(BlockSlot[GB.JumpTarget]) -
+                    (static_cast<int64_t>(TermSlot) + 1);
+      assert(Off >= INT16_MIN && Off <= INT16_MAX && "layout too large");
+      GB.Insns.back().Off = static_cast<int16_t>(Off);
+    }
+    Out.insert(Out.end(), GB.Insns.begin(), GB.Insns.end());
+  }
+  return Out;
+}
+
+std::vector<uint8_t> generateEbpf(const EbpfGenOptions &Opts) {
+  return encode(generateEbpfInsns(Opts));
+}
+
+} // namespace rasc

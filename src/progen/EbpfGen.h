@@ -1,0 +1,68 @@
+//===- progen/EbpfGen.h - Synthetic eBPF bytecode emitter -------*- C++ -*-===//
+//
+// Part of the RASC project: regularly annotated set constraints.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seeded emitter of *valid-but-adversarial* eBPF
+/// programs for the bytecode front-end (DESIGN.md §13): every emitted
+/// program decodes (the emitter respects each rule the decoder
+/// enforces — no r10 writes, no zero divisors, in-range shifts,
+/// in-range jumps, control never falls off the end), but register use
+/// is otherwise unconstrained, so reads-before-init, unchecked map
+/// lookups, loops, and unreachable blocks all occur naturally. The
+/// property/differential tests and bench_ebpf draw their corpora from
+/// here; malformed inputs are produced separately by mutating the
+/// emitted bytes (see ebpf_property_test).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef RASC_PROGEN_EBPFGEN_H
+#define RASC_PROGEN_EBPFGEN_H
+
+#include "ebpf/Insn.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace rasc {
+
+/// Tuning for generateEbpfInsns().
+struct EbpfGenOptions {
+  uint64_t Seed = 1;
+  /// Basic blocks, laid out sequentially (the last always exits).
+  unsigned MinBlocks = 2;
+  unsigned MaxBlocks = 8;
+  /// Non-terminator instructions per block.
+  unsigned MinBodyInsns = 1;
+  unsigned MaxBodyInsns = 6;
+  /// Per-body-instruction permille chance of a helper call.
+  unsigned CallPermille = 180;
+  /// Of the calls, permille that are bpf_map_lookup_elem (helper 1).
+  unsigned LookupPermille = 500;
+  /// Of the memory accesses, permille using r0 as the base register —
+  /// dereferences of the last lookup result, checked or not.
+  unsigned R0BasePermille = 350;
+  /// Of the conditional terminators, permille that test "r0 == 0" /
+  /// "r0 != 0" (the pdmc "check" event).
+  unsigned CheckPermille = 500;
+  /// Per-body-instruction permille chance of an LD_IMM64.
+  unsigned WidePermille = 120;
+  /// Per-body-instruction permille chance of a register-to-register
+  /// mov — the only instruction the flow lowering tracks exactly, so
+  /// this controls how often the context (r1) can reach the result
+  /// (r0) at exit.
+  unsigned MovPermille = 150;
+};
+
+/// Emits a decoder-valid instruction sequence; deterministic in
+/// \p Opts (bit-identical across platforms).
+std::vector<ebpf::Insn> generateEbpfInsns(const EbpfGenOptions &Opts);
+
+/// generateEbpfInsns() encoded to wire bytes.
+std::vector<uint8_t> generateEbpf(const EbpfGenOptions &Opts);
+
+} // namespace rasc
+
+#endif // RASC_PROGEN_EBPFGEN_H
